@@ -1,0 +1,17 @@
+"""E10 benchmark: design-principle ablations."""
+
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation.run(n_cycles=5_000, seed=17),
+        rounds=1,
+        iterations=1,
+    )
+    placement = {
+        r["placement"]: r["bandwidth"]
+        for r in result.records
+        if r.get("study") == "placement"
+    }
+    assert placement["hot_high"] > placement["hot_low"]

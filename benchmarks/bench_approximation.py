@@ -1,0 +1,12 @@
+"""E13 benchmark: exact enumeration vs the paper's approximation."""
+
+from repro.experiments import approximation
+
+
+def test_approximation(benchmark):
+    result = benchmark(approximation.run)
+    # The paper's formulas never overestimate the true bandwidth, and
+    # the worst-case relative error stays below 7% over the whole grid.
+    for row in result.records:
+        assert row["error"] >= -1e-9, row
+        assert row["rel error"] < 0.07, row

@@ -1,0 +1,9 @@
+"""E8 benchmark: recompute the Section IV narrative claims."""
+
+from repro.experiments import claims
+
+
+def test_claims(benchmark):
+    result = benchmark(claims.run)
+    failures = [r for r in result.records if not r["passed"]]
+    assert not failures, failures

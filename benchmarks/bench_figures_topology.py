@@ -1,0 +1,9 @@
+"""E7 benchmark: regenerate and verify the Figure 1-4 topologies."""
+
+from repro.experiments import figures
+
+
+def test_figures_topology(benchmark, reproduces):
+    result = benchmark(figures.run)
+    reproduces(result)
+    assert "fig3" in result.rendered or "KClass" in result.rendered

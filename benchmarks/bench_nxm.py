@@ -1,0 +1,9 @@
+"""E11 benchmark: the N x M table the paper describes but never prints."""
+
+from repro.experiments import nxm
+
+
+def test_nxm(benchmark, reproduces):
+    result = benchmark(nxm.run)
+    reproduces(result)
+    assert {r["M"] for r in result.records} == {8, 16, 32}

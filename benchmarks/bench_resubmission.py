@@ -1,0 +1,13 @@
+"""E12 benchmark: drop model vs blocked-request resubmission."""
+
+from repro.experiments import resubmission
+
+
+def test_resubmission(benchmark):
+    result = benchmark.pedantic(
+        lambda: resubmission.run(n_cycles=8_000, seed=21),
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.records:
+        assert row["resub MBW analytic"] >= row["drop MBW (paper)"] - 1e-9

@@ -1,0 +1,22 @@
+"""E9 benchmark: analytic vs Monte-Carlo validation of eqs. 4/6/9/12.
+
+Uses a reduced cycle count so the benchmark stays responsive; the
+scientific assertions (exactness under the independence workload, small
+approximation error under the processor workload) still hold.
+"""
+
+from repro.experiments import validation
+
+
+def test_sim_validation(benchmark):
+    result = benchmark.pedantic(
+        lambda: validation.run(n_cycles=10_000, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    independence = [
+        r for r in result.records if r["mode"] == "independence"
+    ]
+    assert independence and all(r["agrees"] for r in independence)
+    processor = [r for r in result.records if r["mode"] == "processor"]
+    assert all(abs(r["rel_error"]) < 0.05 for r in processor)

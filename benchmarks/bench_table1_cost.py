@@ -1,0 +1,9 @@
+"""E1 benchmark: regenerate Table I (cost and fault tolerance)."""
+
+from repro.experiments import table1
+
+
+def test_table1_cost(benchmark, reproduces):
+    result = benchmark(table1.run)
+    reproduces(result)
+    assert len(result.records) == 4

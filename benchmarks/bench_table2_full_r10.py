@@ -1,0 +1,9 @@
+"""E2 benchmark: regenerate Table II (full connection, r = 1.0)."""
+
+from repro.experiments import table2
+
+
+def test_table2_full_r10(benchmark, reproduces):
+    result = benchmark(table2.run)
+    reproduces(result)
+    assert result.n_compared >= 70

@@ -1,0 +1,9 @@
+"""E3 benchmark: regenerate Table III (full connection, r = 0.5)."""
+
+from repro.experiments import table3
+
+
+def test_table3_full_r05(benchmark, reproduces):
+    result = benchmark(table3.run)
+    reproduces(result)
+    assert result.n_compared >= 65

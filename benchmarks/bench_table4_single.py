@@ -1,0 +1,9 @@
+"""E4 benchmark: regenerate Table IV (single bus-memory connection)."""
+
+from repro.experiments import table4
+
+
+def test_table4_single(benchmark, reproduces):
+    result = benchmark(table4.run)
+    reproduces(result)
+    assert result.n_compared >= 50

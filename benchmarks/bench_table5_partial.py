@@ -1,0 +1,9 @@
+"""E5 benchmark: regenerate Table V (partial bus networks, g = 2)."""
+
+from repro.experiments import table5
+
+
+def test_table5_partial(benchmark, reproduces):
+    result = benchmark(table5.run)
+    reproduces(result)
+    assert result.n_compared >= 45

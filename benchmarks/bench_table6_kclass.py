@@ -1,0 +1,9 @@
+"""E6 benchmark: regenerate Table VI (K = B class networks)."""
+
+from repro.experiments import table6
+
+
+def test_table6_kclass(benchmark, reproduces):
+    result = benchmark(table6.run)
+    reproduces(result)
+    assert result.n_compared >= 45

@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one paper artifact (E1-E10 in
+DESIGN.md) under ``pytest-benchmark`` timing, and *asserts* the
+reproduction criterion so the benchmark suite doubles as an end-to-end
+check.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def assert_reproduces(result):
+    """Shared acceptance check for table/figure benchmarks."""
+    __tracebackhide__ = True
+    if not result.all_within_tolerance():
+        lines = [
+            f"{m.cell}: computed {m.computed:.4f} vs paper {m.paper:.4f}"
+            for m in result.mismatches()
+        ]
+        pytest.fail(
+            f"{result.experiment_id} missed the paper's printed values:\n"
+            + "\n".join(lines)
+        )
+
+
+@pytest.fixture
+def reproduces():
+    return assert_reproduces

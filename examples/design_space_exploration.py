@@ -1,0 +1,84 @@
+"""Design-space exploration: pick the cheapest interconnect that meets
+a bandwidth target and a fault-tolerance requirement.
+
+Sweeps bus counts for every connection scheme on a 32-processor machine
+under the paper's hierarchical workload, then answers the engineering
+question the paper's Section IV gestures at: *which network should I
+buy?*  Constraints: sustained bandwidth >= 12 requests/cycle and
+tolerance of at least one bus failure.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import (
+    analytic_bandwidth,
+    build_network,
+    cost_report,
+    paper_two_level_model,
+    render_table,
+)
+from repro.exceptions import ConfigurationError
+
+N = 32
+TARGET_BANDWIDTH = 12.0
+REQUIRED_FAULT_TOLERANCE = 1
+
+
+def explore() -> list[dict]:
+    model = paper_two_level_model(N, rate=1.0)
+    candidates = []
+    for scheme in ("full", "partial", "kclass", "single"):
+        for n_buses in (2, 4, 8, 16, 24, 32):
+            try:
+                network = build_network(scheme, N, N, n_buses)
+            except ConfigurationError:
+                continue
+            report = cost_report(network)
+            candidates.append(
+                {
+                    "scheme": scheme,
+                    "B": n_buses,
+                    "MBW": round(analytic_bandwidth(network, model), 2),
+                    "connections": report.connections,
+                    "max load": report.max_bus_load,
+                    "fault tol.": report.degree_of_fault_tolerance,
+                }
+            )
+    return candidates
+
+
+def main() -> None:
+    candidates = explore()
+    print(render_table(
+        candidates,
+        title=f"Design space at N={N} (hierarchical model, r = 1.0)",
+    ))
+
+    feasible = [
+        c
+        for c in candidates
+        if c["MBW"] >= TARGET_BANDWIDTH
+        and c["fault tol."] >= REQUIRED_FAULT_TOLERANCE
+    ]
+    feasible.sort(key=lambda c: c["connections"])
+    print(
+        f"\nConstraints: MBW >= {TARGET_BANDWIDTH}, fault tolerance >= "
+        f"{REQUIRED_FAULT_TOLERANCE}"
+    )
+    if not feasible:
+        print("No feasible design.")
+        return
+    print(render_table(feasible[:5], title="Feasible designs, cheapest first"))
+    best = feasible[0]
+    print(
+        f"\nRecommendation: {best['scheme']} with B={best['B']} "
+        f"({best['connections']} connections, MBW {best['MBW']}). "
+        "Partial-connection schemes dominate here: full connection pays "
+        "for load and wiring the workload cannot use, and single "
+        "connection fails the fault-tolerance constraint — the paper's "
+        "intermediate-scheme conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so the
+package can be installed with ``pip install -e . --no-use-pep517`` in
+offline environments that lack the ``wheel`` package required by PEP-517
+editable builds.
+"""
+
+from setuptools import setup
+
+setup()

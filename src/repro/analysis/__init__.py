@@ -1,0 +1,31 @@
+"""Comparison, sweep and rendering utilities over the core analytics."""
+
+from repro.analysis.capacity import (
+    bus_utilization_profile,
+    min_buses_for_bandwidth,
+    min_buses_for_crossbar_fraction,
+    rate_for_crossbar_fraction,
+)
+from repro.analysis.compare import SchemeComparison, compare_schemes
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.sweep import (
+    bandwidth_sweep,
+    bus_count_sweep,
+    paper_model_pair,
+)
+from repro.analysis.tables import render_matrix, render_table
+
+__all__ = [
+    "analytic_bandwidth",
+    "bandwidth_sweep",
+    "bus_count_sweep",
+    "paper_model_pair",
+    "compare_schemes",
+    "SchemeComparison",
+    "render_table",
+    "render_matrix",
+    "min_buses_for_bandwidth",
+    "min_buses_for_crossbar_fraction",
+    "rate_for_crossbar_fraction",
+    "bus_utilization_profile",
+]

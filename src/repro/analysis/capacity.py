@@ -1,0 +1,170 @@
+"""Capacity planning: sizing bus pools from the closed forms.
+
+Section IV's engineering takeaways — "the network should have at least
+N/2 buses when r = 1", "when r = 0.5, N/2 buses perform close to the
+crossbar" — generalized into planning utilities:
+
+* :func:`min_buses_for_bandwidth` — smallest bus pool meeting a target.
+* :func:`min_buses_for_crossbar_fraction` — smallest bus pool within a
+  given fraction of the crossbar's bandwidth.
+* :func:`rate_for_crossbar_fraction` — the request rate below which a
+  given bus pool is effectively crossbar-equivalent (the paper's r = 0.5
+  observation, made precise by bisection).
+* :func:`bus_utilization_profile` — marginal value of each added bus.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.core.bandwidth import bandwidth_crossbar
+from repro.core.request_models import RequestModel
+from repro.exceptions import ConfigurationError
+from repro.topology.factory import build_network
+
+__all__ = [
+    "min_buses_for_bandwidth",
+    "min_buses_for_crossbar_fraction",
+    "rate_for_crossbar_fraction",
+    "bus_utilization_profile",
+]
+
+
+def _scheme_bandwidth(
+    scheme: str, n: int, b: int, model: RequestModel, **kwargs
+) -> float | None:
+    try:
+        network = build_network(scheme, n, model.n_memories, b, **kwargs)
+    except ConfigurationError:
+        return None
+    return analytic_bandwidth(network, model)
+
+
+def min_buses_for_bandwidth(
+    scheme: str,
+    n_processors: int,
+    model: RequestModel,
+    target: float,
+    **network_kwargs,
+) -> int | None:
+    """Smallest ``B`` whose bandwidth meets ``target``; None if none does.
+
+    Bandwidth is non-decreasing in ``B`` for every scheme, so a linear
+    scan from below returns the minimum.  Bus counts structurally invalid
+    for the scheme (e.g. odd ``B`` with ``g = 2``) are skipped.
+    """
+    if target <= 0.0:
+        raise ConfigurationError(f"target bandwidth must be > 0: {target}")
+    best = None
+    for b in range(1, model.n_memories + 1):
+        value = _scheme_bandwidth(
+            scheme, n_processors, b, model, **network_kwargs
+        )
+        if value is None:
+            continue
+        if value >= target - 1e-12:
+            best = b
+            break
+    return best
+
+
+def min_buses_for_crossbar_fraction(
+    scheme: str,
+    n_processors: int,
+    model: RequestModel,
+    fraction: float = 0.95,
+    **network_kwargs,
+) -> int | None:
+    """Smallest ``B`` achieving ``fraction`` of the crossbar bandwidth."""
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1]: {fraction}")
+    x = model.symmetric_module_probability()
+    ceiling = bandwidth_crossbar(model.n_memories, x)
+    return min_buses_for_bandwidth(
+        scheme, n_processors, model, fraction * ceiling, **network_kwargs
+    )
+
+
+def rate_for_crossbar_fraction(
+    scheme: str,
+    n_processors: int,
+    n_buses: int,
+    model: RequestModel,
+    fraction: float = 0.95,
+    tolerance: float = 1e-6,
+    **network_kwargs,
+) -> float | None:
+    """Largest rate ``r`` at which ``B`` buses reach ``fraction`` of the
+    crossbar, found by bisection.
+
+    Below the returned rate the bus pool is effectively crossbar-
+    equivalent; above it, bus contention bites.  Returns 1.0 when even
+    ``r = 1`` meets the fraction, and ``None`` when no rate does (only
+    possible for pathological fractions, since both sides vanish
+    together as ``r -> 0``).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1]: {fraction}")
+
+    def meets(rate: float) -> bool:
+        scaled = model.with_rate(rate)
+        value = _scheme_bandwidth(
+            scheme, n_processors, n_buses, scaled, **network_kwargs
+        )
+        if value is None:
+            raise ConfigurationError(
+                f"scheme {scheme!r} cannot be built with B={n_buses}"
+            )
+        x = scaled.module_request_probabilities()
+        ceiling = float(x.sum())
+        if ceiling <= 0.0:
+            return True
+        return value >= fraction * ceiling - 1e-12
+
+    if meets(1.0):
+        return 1.0
+    low, high = 0.0, 1.0  # meets(low) holds in the r->0 limit
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if mid == low or mid == high:
+            break
+        if meets(mid):
+            low = mid
+        else:
+            high = mid
+    return low if low > 0.0 else None
+
+
+def bus_utilization_profile(
+    scheme: str,
+    n_processors: int,
+    model: RequestModel,
+    max_buses: int | None = None,
+    **network_kwargs,
+) -> list[dict[str, float]]:
+    """Marginal bandwidth of each added bus.
+
+    Returns one record per feasible bus count with the bandwidth, the
+    gain over the previous feasible count, and the average per-bus yield
+    — the quantity that collapses when a pool is oversized (the paper's
+    "underutilized" observation for r = 0.5).
+    """
+    if max_buses is None:
+        max_buses = model.n_memories
+    profile: list[dict[str, float]] = []
+    previous = 0.0
+    for b in range(1, max_buses + 1):
+        value = _scheme_bandwidth(
+            scheme, n_processors, b, model, **network_kwargs
+        )
+        if value is None:
+            continue
+        profile.append(
+            {
+                "B": b,
+                "bandwidth": value,
+                "marginal": value - previous,
+                "per_bus": value / b,
+            }
+        )
+        previous = value
+    return profile

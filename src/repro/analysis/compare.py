@@ -1,0 +1,84 @@
+"""Cross-scheme comparison: bandwidth, cost and performance/cost ratio.
+
+Implements Section IV's qualitative conclusions as computable artifacts:
+for a fixed machine, every scheme's bandwidth, connection cost, per-bus
+load, fault tolerance and bandwidth-per-connection land in one record
+list, ready for rendering or assertion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.core.request_models import RequestModel
+from repro.exceptions import ConfigurationError
+from repro.topology.cost import cost_report, performance_cost_ratio
+from repro.topology.factory import build_network
+
+__all__ = ["SchemeComparison", "compare_schemes"]
+
+_DEFAULT_SCHEMES = ("full", "partial", "kclass", "single", "crossbar")
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeComparison:
+    """One scheme's figures of merit on a fixed machine and workload."""
+
+    scheme: str
+    bandwidth: float
+    connections: int
+    max_bus_load: int
+    fault_tolerance: int
+    bandwidth_per_connection: float
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "scheme": self.scheme,
+            "MBW": round(self.bandwidth, 3),
+            "connections": self.connections,
+            "max load": self.max_bus_load,
+            "fault tol.": self.fault_tolerance,
+            "MBW/conn": round(self.bandwidth_per_connection, 5),
+        }
+
+
+def compare_schemes(
+    n_processors: int,
+    n_buses: int,
+    model: RequestModel,
+    schemes: Sequence[str] = _DEFAULT_SCHEMES,
+    n_memories: int | None = None,
+) -> list[SchemeComparison]:
+    """Evaluate every scheme on the same machine and request model.
+
+    Schemes structurally impossible at these parameters (e.g. partial
+    with ``g=2`` when ``B`` is odd) are skipped.  Results are sorted by
+    decreasing bandwidth, which for the paper's configurations yields
+    full >= partial ~ kclass >= single — the ordering Section IV reports.
+    """
+    if n_memories is None:
+        n_memories = model.n_memories
+    rows: list[SchemeComparison] = []
+    for scheme in schemes:
+        try:
+            network = build_network(scheme, n_processors, n_memories, n_buses)
+        except ConfigurationError:
+            continue
+        bandwidth = analytic_bandwidth(network, model)
+        report = cost_report(network)
+        rows.append(
+            SchemeComparison(
+                scheme=scheme,
+                bandwidth=bandwidth,
+                connections=report.connections,
+                max_bus_load=report.max_bus_load,
+                fault_tolerance=report.degree_of_fault_tolerance,
+                bandwidth_per_connection=performance_cost_ratio(
+                    bandwidth, report
+                ),
+            )
+        )
+    return sorted(rows, key=lambda row: -row.bandwidth)

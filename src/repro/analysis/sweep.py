@@ -1,0 +1,111 @@
+"""Parameter sweeps over bus counts, request rates and schemes.
+
+The paper's evaluation is a grid of (scheme, N, B, r, requesting model)
+cells; this module produces such grids as lists of flat record dicts that
+the table renderer, the experiments and the benchmarks all share.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.core.hierarchy import paper_two_level_model
+from repro.core.request_models import RequestModel, UniformRequestModel
+from repro.exceptions import ConfigurationError
+from repro.topology.factory import build_network
+
+__all__ = [
+    "bandwidth_sweep",
+    "bus_count_sweep",
+    "paper_model_pair",
+]
+
+
+def paper_model_pair(
+    n_processors: int, rate: float
+) -> dict[str, RequestModel]:
+    """Return the paper's two Section IV request models for one machine.
+
+    ``hier`` — the two-level hierarchy (4 clusters, aggregate fractions
+    0.6 / 0.3 / 0.1); ``unif`` — the uniform model.
+    """
+    return {
+        "hier": paper_two_level_model(n_processors, rate=rate),
+        "unif": UniformRequestModel(n_processors, n_processors, rate=rate),
+    }
+
+
+def bandwidth_sweep(
+    scheme: str,
+    n_processors: int,
+    bus_counts: Sequence[int],
+    rates: Sequence[float],
+    model_factory: Callable[[int, float], dict[str, RequestModel]] = paper_model_pair,
+    n_memories: int | None = None,
+    **network_kwargs,
+) -> list[dict[str, object]]:
+    """Evaluate one scheme across a (B, r, model) grid.
+
+    Returns one record per grid cell::
+
+        {"scheme", "N", "M", "B", "r", "model", "bandwidth"}
+
+    Grid cells whose parameters are structurally invalid for the scheme
+    (e.g. ``g`` does not divide ``B``) are skipped, mirroring the blank
+    cells of the paper's tables.
+    """
+    if n_memories is None:
+        n_memories = n_processors
+    records: list[dict[str, object]] = []
+    for rate in rates:
+        models = model_factory(n_processors, rate)
+        for n_buses in bus_counts:
+            try:
+                network = build_network(
+                    scheme, n_processors, n_memories, n_buses, **network_kwargs
+                )
+            except ConfigurationError:
+                continue
+            for name, model in models.items():
+                records.append(
+                    {
+                        "scheme": scheme,
+                        "N": n_processors,
+                        "M": n_memories,
+                        "B": n_buses,
+                        "r": rate,
+                        "model": name,
+                        "bandwidth": analytic_bandwidth(network, model),
+                    }
+                )
+    return records
+
+
+def bus_count_sweep(
+    scheme: str,
+    n_processors: int,
+    model: RequestModel,
+    bus_counts: Iterable[int] | None = None,
+    **network_kwargs,
+) -> dict[int, float]:
+    """Bandwidth as a function of ``B`` for one scheme and model.
+
+    ``bus_counts`` defaults to ``1..N``; invalid counts are skipped.
+    """
+    if bus_counts is None:
+        bus_counts = range(1, n_processors + 1)
+    out: dict[int, float] = {}
+    for n_buses in bus_counts:
+        try:
+            network = build_network(
+                scheme,
+                n_processors,
+                model.n_memories,
+                n_buses,
+                **network_kwargs,
+            )
+        except ConfigurationError:
+            continue
+        out[n_buses] = analytic_bandwidth(network, model)
+    return out

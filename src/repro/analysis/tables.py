@@ -1,0 +1,75 @@
+"""Plain-text table rendering in the visual style of the paper's tables."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_table", "render_matrix"]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render records as an aligned monospace table.
+
+    Floats print with two decimals, matching the paper's precision.
+    Missing keys render as blanks — the paper's tables have blank cells
+    where a configuration does not exist (e.g. ``B > N``).
+    """
+    rows = list(rows)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [
+        [_format_cell(row.get(col, "")) if row.get(col, "") != "" else ""
+         for col in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in cells)) if cells else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for line in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_matrix(
+    row_labels: Sequence[object],
+    column_labels: Sequence[object],
+    values: Mapping[tuple[object, object], object],
+    corner: str = "",
+    title: str | None = None,
+) -> str:
+    """Render a (row x column) value grid, blanks for missing cells.
+
+    This matches the layout of Tables II-VI: bus counts down the side,
+    (N, model) combinations across the top.
+    """
+    rows = []
+    for r in row_labels:
+        row: dict[str, object] = {corner or " ": r}
+        for c in column_labels:
+            row[str(c)] = values.get((r, c), "")
+        rows.append(row)
+    return render_table(
+        rows, columns=[corner or " "] + [str(c) for c in column_labels],
+        title=title,
+    )

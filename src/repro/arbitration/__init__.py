@@ -1,0 +1,71 @@
+"""Two-stage arbitration substrate (Section II-A).
+
+Stage one: per-module random N-user/1-server arbiters.  Stage two: a
+scheme-specific bus assignment policy.  :func:`assignment_for` builds the
+stage-two policy matching a topology, which is how the simulator stays
+faithful to the paper's arbitration for every connection scheme.
+"""
+
+from __future__ import annotations
+
+from repro.arbitration.base import BusAssignmentPolicy
+from repro.arbitration.bus_arbiter import (
+    CrossbarAssignment,
+    GroupedBusAssignment,
+    MatchingBusAssignment,
+    RandomBusAssignment,
+    RoundRobinBusAssignment,
+    SingleBusAssignment,
+)
+from repro.arbitration.kclass_assignment import KClassBusAssignment
+from repro.arbitration.memory_arbiter import (
+    MemoryArbiter,
+    resolve_memory_contention,
+)
+from repro.topology import (
+    CrossbarNetwork,
+    FullBusMemoryNetwork,
+    KClassPartialBusNetwork,
+    MultipleBusNetwork,
+    PartialBusNetwork,
+    SingleBusMemoryNetwork,
+)
+
+__all__ = [
+    "BusAssignmentPolicy",
+    "RoundRobinBusAssignment",
+    "RandomBusAssignment",
+    "GroupedBusAssignment",
+    "SingleBusAssignment",
+    "CrossbarAssignment",
+    "MatchingBusAssignment",
+    "KClassBusAssignment",
+    "MemoryArbiter",
+    "resolve_memory_contention",
+    "assignment_for",
+]
+
+
+def assignment_for(network: MultipleBusNetwork) -> BusAssignmentPolicy:
+    """Return the paper's stage-two policy for a given topology.
+
+    * crossbar -> no bus contention,
+    * full -> round-robin ``B``-out-of-``M``,
+    * partial -> per-group round-robin,
+    * single -> per-bus round-robin,
+    * K classes -> the two-step procedure of Lang et al. [10],
+    * anything else (e.g. fault-degraded topologies) -> maximum matching.
+    """
+    if isinstance(network, CrossbarNetwork):
+        return CrossbarAssignment(network.n_memories, network.n_buses)
+    if isinstance(network, KClassPartialBusNetwork):
+        return KClassBusAssignment(network.class_of_module, network.n_buses)
+    if isinstance(network, PartialBusNetwork):
+        return GroupedBusAssignment(
+            network.n_memories, network.n_buses, network.n_groups
+        )
+    if isinstance(network, SingleBusMemoryNetwork):
+        return SingleBusAssignment(network.bus_of_module, network.n_buses)
+    if isinstance(network, FullBusMemoryNetwork):
+        return RoundRobinBusAssignment(network.n_memories, network.n_buses)
+    return MatchingBusAssignment(network.memory_bus_matrix())

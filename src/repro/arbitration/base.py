@@ -1,0 +1,61 @@
+"""Interfaces for the second arbitration stage (bus assignment).
+
+The paper resolves conflicts in two stages (Section II-A): stage one, a
+per-module ``N``-user/1-server arbiter picks one processor among those
+requesting the module (:mod:`repro.arbitration.memory_arbiter`); stage
+two, a bus arbiter decides which of the winning modules obtain one of the
+``B`` buses.  This module defines the stage-two interface; concrete
+policies live in :mod:`repro.arbitration.bus_arbiter` and
+:mod:`repro.arbitration.kclass_assignment`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["BusAssignmentPolicy"]
+
+
+class BusAssignmentPolicy(abc.ABC):
+    """Assigns buses to the memory modules selected by stage one.
+
+    Policies may be stateful (round-robin pointers); :meth:`reset` returns
+    them to their initial state so simulation runs are reproducible.
+    """
+
+    def __init__(self, n_memories: int, n_buses: int):
+        self._n_memories = int(n_memories)
+        self._n_buses = int(n_buses)
+
+    @property
+    def n_memories(self) -> int:
+        """Number of memory modules the policy arbitrates over."""
+        return self._n_memories
+
+    @property
+    def n_buses(self) -> int:
+        """Number of buses the policy hands out."""
+        return self._n_buses
+
+    @abc.abstractmethod
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        """Return this cycle's grants as a ``{bus: module}`` mapping.
+
+        ``requested_modules`` lists the distinct modules with at least one
+        outstanding request (stage-one winners).  Each granted bus carries
+        exactly one module and each module occupies at most one bus.
+        """
+
+    def reset(self) -> None:
+        """Restore initial arbitration state (no-op for stateless policies)."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_memories={self._n_memories}, "
+            f"n_buses={self._n_buses})"
+        )

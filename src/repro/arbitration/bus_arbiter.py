@@ -1,0 +1,232 @@
+"""Stage two bus arbiters for full, grouped, and single connection schemes.
+
+The paper's stage two is a ``B``-out-of-``M`` arbiter: at most ``B`` of
+the stage-one winners obtain a bus each cycle, granted "in a round-robin
+fashion to the memory modules that are requested" (Section II-A).  For
+partial bus networks, each group runs an independent ``B/g``-out-of-
+``M/g`` arbiter; for single connection networks, each bus independently
+serves one of its requested modules.
+
+All policies also accept a ``random`` selection variant — with the
+paper's blocked-requests-dropped assumption, the *count* of grants (and
+hence the bandwidth) is identical under any work-conserving selection
+rule; round-robin only changes which modules win.  Tests exploit this
+equivalence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.arbitration.base import BusAssignmentPolicy
+from repro.exceptions import ConfigurationError, SimulationError
+
+__all__ = [
+    "RoundRobinBusAssignment",
+    "RandomBusAssignment",
+    "GroupedBusAssignment",
+    "SingleBusAssignment",
+    "CrossbarAssignment",
+    "MatchingBusAssignment",
+]
+
+
+class RoundRobinBusAssignment(BusAssignmentPolicy):
+    """Round-robin ``B``-out-of-``M`` arbiter (full bus-memory connection).
+
+    A pointer sweeps the module index space; each cycle the requested
+    modules are served in cyclic order starting at the pointer, at most
+    one per bus, and the pointer advances past the last module granted so
+    no module can starve.
+    """
+
+    def __init__(self, n_memories: int, n_buses: int):
+        super().__init__(n_memories, n_buses)
+        self._next = 0
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        if not len(requested_modules):
+            return {}
+        ordered = sorted(
+            requested_modules,
+            key=lambda m: (m - self._next) % self._n_memories,
+        )
+        granted = ordered[: self._n_buses]
+        if granted:
+            self._next = (granted[-1] + 1) % self._n_memories
+        return {bus: module for bus, module in enumerate(granted)}
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class RandomBusAssignment(BusAssignmentPolicy):
+    """Random ``B``-out-of-``M`` arbiter: a uniform subset of winners."""
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        modules = list(requested_modules)
+        if not modules:
+            return {}
+        if len(modules) > self._n_buses:
+            picked = rng.choice(len(modules), size=self._n_buses, replace=False)
+            modules = [modules[i] for i in sorted(picked)]
+        return {bus: module for bus, module in enumerate(modules)}
+
+
+class GroupedBusAssignment(BusAssignmentPolicy):
+    """Per-group round-robin arbitration for partial bus networks.
+
+    Group ``q`` owns modules ``q*M/g..`` and buses ``q*B/g..``; requests
+    never cross groups, so each group runs its own
+    :class:`RoundRobinBusAssignment` over its local module space.
+    """
+
+    def __init__(self, n_memories: int, n_buses: int, n_groups: int):
+        super().__init__(n_memories, n_buses)
+        if n_groups < 1:
+            raise ConfigurationError(f"need at least one group, got {n_groups}")
+        if n_memories % n_groups or n_buses % n_groups:
+            raise ConfigurationError(
+                f"g={n_groups} must divide M={n_memories} and B={n_buses}"
+            )
+        self._n_groups = n_groups
+        self._modules_per_group = n_memories // n_groups
+        self._buses_per_group = n_buses // n_groups
+        self._group_arbiters = [
+            RoundRobinBusAssignment(self._modules_per_group, self._buses_per_group)
+            for _ in range(n_groups)
+        ]
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups ``g``."""
+        return self._n_groups
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        by_group: list[list[int]] = [[] for _ in range(self._n_groups)]
+        for module in requested_modules:
+            by_group[module // self._modules_per_group].append(
+                module % self._modules_per_group
+            )
+        grants: dict[int, int] = {}
+        for group, (arbiter, local) in enumerate(
+            zip(self._group_arbiters, by_group)
+        ):
+            for local_bus, local_module in arbiter.assign(local, rng).items():
+                bus = group * self._buses_per_group + local_bus
+                grants[bus] = group * self._modules_per_group + local_module
+        return grants
+
+    def reset(self) -> None:
+        for arbiter in self._group_arbiters:
+            arbiter.reset()
+
+
+class SingleBusAssignment(BusAssignmentPolicy):
+    """Per-bus arbitration for single bus-memory connection networks.
+
+    Each bus independently serves one of its requested attached modules,
+    chosen round-robin over the bus's local module list.
+    """
+
+    def __init__(self, bus_of_module: Sequence[int], n_buses: int):
+        bus_of_module = [int(b) for b in bus_of_module]
+        super().__init__(len(bus_of_module), n_buses)
+        for j, bus in enumerate(bus_of_module):
+            if not 0 <= bus < n_buses:
+                raise ConfigurationError(
+                    f"module {j} assigned to nonexistent bus {bus}"
+                )
+        self._bus_of_module = bus_of_module
+        self._pointers = [0] * n_buses
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        by_bus: dict[int, list[int]] = {}
+        for module in requested_modules:
+            if not 0 <= module < self._n_memories:
+                raise SimulationError(
+                    f"module {module} outside [0, {self._n_memories})"
+                )
+            by_bus.setdefault(self._bus_of_module[module], []).append(module)
+        grants: dict[int, int] = {}
+        for bus, modules in by_bus.items():
+            pointer = self._pointers[bus]
+            winner = min(modules, key=lambda m: (m - pointer) % self._n_memories)
+            grants[bus] = winner
+            self._pointers[bus] = (winner + 1) % self._n_memories
+        return grants
+
+    def reset(self) -> None:
+        self._pointers = [0] * self._n_buses
+
+
+class CrossbarAssignment(BusAssignmentPolicy):
+    """Crossbar: no bus contention — every requested module is served.
+
+    Grants are reported on virtual "buses" ``0..min(N, M)-1`` so crossbar
+    results flow through the same metrics pipeline.
+    """
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        modules = list(requested_modules)
+        if len(modules) > self._n_buses:
+            raise SimulationError(
+                f"{len(modules)} requested modules exceed the crossbar's "
+                f"{self._n_buses} simultaneous transfers; stage one must "
+                "emit at most one winner per module"
+            )
+        return {bus: module for bus, module in enumerate(modules)}
+
+
+class MatchingBusAssignment(BusAssignmentPolicy):
+    """Optimal assignment for arbitrary connection matrices.
+
+    Uses Hopcroft-Karp maximum bipartite matching between requested
+    modules and the buses they attach to.  This is not one of the paper's
+    arbiters; it serves as the *upper bound* policy for degraded (fault-
+    injected) topologies where the structured arbiters no longer apply,
+    and quantifies how much bandwidth the paper's simple two-step K-class
+    procedure leaves on the table (ablation E10).
+    """
+
+    def __init__(self, memory_bus_matrix: np.ndarray):
+        memory_bus_matrix = np.asarray(memory_bus_matrix, dtype=bool)
+        if memory_bus_matrix.ndim != 2:
+            raise ConfigurationError("memory_bus_matrix must be 2-D")
+        super().__init__(*memory_bus_matrix.shape)
+        self._matrix = memory_bus_matrix
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        import networkx as nx
+
+        modules = [int(m) for m in requested_modules]
+        if not modules:
+            return {}
+        graph = nx.Graph()
+        module_nodes = [("m", m) for m in modules]
+        graph.add_nodes_from(module_nodes, bipartite=0)
+        for m in modules:
+            for bus in np.flatnonzero(self._matrix[m]):
+                graph.add_edge(("m", m), ("b", int(bus)))
+        matching = nx.bipartite.maximum_matching(
+            graph, top_nodes=[n for n in module_nodes if graph.degree(n) > 0]
+        )
+        grants: dict[int, int] = {}
+        for node, partner in matching.items():
+            if node[0] == "b":
+                grants[node[1]] = partner[1]
+        return grants

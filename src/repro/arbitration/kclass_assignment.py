@@ -1,0 +1,163 @@
+"""The two-step bus-assignment procedure for K-class networks (Sec. III-D).
+
+Step one works per class: for class ``C_j`` (connected to buses
+``1 .. j + B - K``) with ``R_j`` requested modules, select
+``min(j + B - K, R_j)`` of them and place them on the class's buses from
+the *highest* bus downward — the first selected module of ``C_j`` is a
+candidate for bus ``j + B - K``, the second for bus ``j + B - K - 1``,
+and so on.  Packing each class against its private high end keeps
+low-numbered buses free for the poorly-connected classes below it.
+
+Step two resolves the per-bus contention this creates (a bus can receive
+one candidate from each class above its position): each bus arbiter picks
+one candidate at random or round-robin over classes.
+
+The expected number of busy buses under this procedure is exactly the
+paper's eq. (11) — the property-based tests verify that equivalence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.arbitration.base import BusAssignmentPolicy
+from repro.exceptions import ConfigurationError, SimulationError
+
+__all__ = ["KClassBusAssignment"]
+
+
+class KClassBusAssignment(BusAssignmentPolicy):
+    """Two-step bus assignment of Lang et al. [10] for K-class networks.
+
+    Parameters
+    ----------
+    class_of_module:
+        1-based class index of every module.
+    n_buses:
+        Total bus count ``B``.
+    selection:
+        ``"round_robin"`` (default) or ``"random"`` — how step one picks
+        which requested modules of an over-subscribed class are served,
+        and how step two breaks per-bus ties between classes.  The grant
+        *count* distribution is identical either way.
+    """
+
+    def __init__(
+        self,
+        class_of_module: Sequence[int],
+        n_buses: int,
+        selection: str = "round_robin",
+    ):
+        class_of_module = [int(c) for c in class_of_module]
+        super().__init__(len(class_of_module), n_buses)
+        if not class_of_module:
+            raise ConfigurationError("need at least one module")
+        n_classes = max(class_of_module)
+        if min(class_of_module) < 1:
+            raise ConfigurationError("class indices are 1-based")
+        if n_classes > n_buses:
+            raise ConfigurationError(
+                f"K={n_classes} classes require K <= B={n_buses}"
+            )
+        if selection not in ("round_robin", "random"):
+            raise ConfigurationError(
+                f"selection must be 'round_robin' or 'random', got {selection!r}"
+            )
+        self._class_of_module = class_of_module
+        self._n_classes = n_classes
+        self._selection = selection
+        self._class_members: list[list[int]] = [
+            [] for _ in range(n_classes + 1)
+        ]
+        for module, cls in enumerate(class_of_module):
+            self._class_members[cls].append(module)
+        self._class_pointers = [0] * (n_classes + 1)
+        self._bus_pointers = [0] * n_buses
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes ``K``."""
+        return self._n_classes
+
+    def class_bus_width(self, class_index: int) -> int:
+        """Number of buses class ``C_j`` attaches to: ``j + B - K``."""
+        if not 1 <= class_index <= self._n_classes:
+            raise ConfigurationError(
+                f"class index {class_index} out of range 1..{self._n_classes}"
+            )
+        return class_index + self._n_buses - self._n_classes
+
+    def _select_from_class(
+        self,
+        cls: int,
+        requested: list[int],
+        capacity: int,
+        rng: np.random.Generator,
+    ) -> list[int]:
+        """Step one selection: at most ``capacity`` modules of one class."""
+        if len(requested) <= capacity:
+            return list(requested)
+        if self._selection == "random":
+            picked = rng.choice(len(requested), size=capacity, replace=False)
+            return [requested[i] for i in sorted(picked)]
+        pointer = self._class_pointers[cls]
+        members = self._class_members[cls]
+        ordered = sorted(
+            requested,
+            key=lambda m: (members.index(m) - pointer) % len(members),
+        )
+        chosen = ordered[:capacity]
+        self._class_pointers[cls] = (
+            members.index(chosen[-1]) + 1
+        ) % len(members)
+        return chosen
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        by_class: list[list[int]] = [[] for _ in range(self._n_classes + 1)]
+        for module in requested_modules:
+            if not 0 <= module < self._n_memories:
+                raise SimulationError(
+                    f"module {module} outside [0, {self._n_memories})"
+                )
+            by_class[self._class_of_module[module]].append(module)
+
+        # Step one: per-class selection, candidates packed from the
+        # class's highest connected bus downward.
+        candidates: dict[int, list[tuple[int, int]]] = {}
+        for cls in range(1, self._n_classes + 1):
+            requested = by_class[cls]
+            if not requested:
+                continue
+            width = self.class_bus_width(cls)
+            selected = self._select_from_class(
+                cls, requested, min(width, len(requested)), rng
+            )
+            for rank, module in enumerate(selected):
+                bus = width - 1 - rank  # 0-based: paper bus (width - rank)
+                candidates.setdefault(bus, []).append((cls, module))
+
+        # Step two: each contested bus picks one candidate.
+        grants: dict[int, int] = {}
+        for bus, entries in candidates.items():
+            if len(entries) == 1:
+                grants[bus] = entries[0][1]
+                continue
+            if self._selection == "random":
+                cls, module = entries[rng.integers(len(entries))]
+            else:
+                pointer = self._bus_pointers[bus]
+                cls, module = min(
+                    entries,
+                    key=lambda e: (e[0] - pointer) % (self._n_classes + 1),
+                )
+                self._bus_pointers[bus] = (cls + 1) % (self._n_classes + 1)
+            grants[bus] = module
+        return grants
+
+    def reset(self) -> None:
+        self._class_pointers = [0] * (self._n_classes + 1)
+        self._bus_pointers = [0] * self._n_buses

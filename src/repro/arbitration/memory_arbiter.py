@@ -1,0 +1,85 @@
+"""Stage one: per-module N-user/1-server memory request arbiters.
+
+Each shared memory module owns an arbiter that, every cycle, selects with
+equal probability one of the processors holding an outstanding request for
+it (Section II-A).  The identity of the winner does not change the memory
+bandwidth — one request per requested module survives either way — but it
+determines *which processor's* request succeeds, which the fairness
+metrics and trace records consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+__all__ = ["MemoryArbiter", "resolve_memory_contention"]
+
+
+class MemoryArbiter:
+    """Random N-user, 1-server arbiter for a single memory module."""
+
+    def __init__(self, module: int):
+        if module < 0:
+            raise SimulationError(f"module index must be non-negative: {module}")
+        self._module = int(module)
+
+    @property
+    def module(self) -> int:
+        """Index of the memory module this arbiter serves."""
+        return self._module
+
+    def select(
+        self, requesters: Sequence[int], rng: np.random.Generator
+    ) -> int | None:
+        """Pick the winning processor, or ``None`` when nobody requests.
+
+        Every requester wins with probability ``1 / len(requesters)``.
+        """
+        if len(requesters) == 0:
+            return None
+        if len(requesters) == 1:
+            return int(requesters[0])
+        return int(requesters[rng.integers(len(requesters))])
+
+    def __repr__(self) -> str:
+        return f"MemoryArbiter(module={self._module})"
+
+
+def resolve_memory_contention(
+    choices: Iterable[tuple[int, int]],
+    n_memories: int,
+    rng: np.random.Generator,
+) -> dict[int, int]:
+    """Run stage one for a whole cycle.
+
+    Parameters
+    ----------
+    choices:
+        ``(processor, module)`` pairs — every request issued this cycle.
+    n_memories:
+        Number of modules (arbiters).
+    rng:
+        Random source shared by all arbiters.
+
+    Returns
+    -------
+    dict
+        ``{module: winning_processor}`` for every requested module.
+    """
+    per_module: dict[int, list[int]] = {}
+    for processor, module in choices:
+        if not 0 <= module < n_memories:
+            raise SimulationError(
+                f"request for module {module} outside [0, {n_memories})"
+            )
+        per_module.setdefault(module, []).append(processor)
+    winners: dict[int, int] = {}
+    for module, requesters in per_module.items():
+        winner = MemoryArbiter(module).select(requesters, rng)
+        if winner is not None:
+            winners[module] = winner
+    return winners

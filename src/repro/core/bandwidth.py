@@ -1,0 +1,213 @@
+"""Closed-form memory bandwidth of multiple bus networks (Section III).
+
+Effective memory bandwidth is the expected number of successful memory
+requests per cycle.  All formulas take the per-module request probability
+``X`` of eq. (2) — produced by any
+:class:`~repro.core.request_models.RequestModel` — and the structural
+parameters of the network:
+
+* :func:`bandwidth_full` — full bus-memory connection, eqs. (3)-(4).
+* :func:`bandwidth_single` — single bus-memory connection, eqs. (5)-(6).
+* :func:`bandwidth_partial` — Lang et al. partial bus networks with ``g``
+  groups, eqs. (7)-(9).
+* :func:`repro.core.kclasses.bandwidth_kclass` — the paper's proposed
+  K-class networks, eqs. (10)-(12).
+* :func:`bandwidth_crossbar` — the ``N x M`` crossbar upper bound (no bus
+  contention; only memory interference).
+
+Each formula also has a heterogeneous variant accepting per-module
+probabilities ``X_j`` (Poisson-binomial instead of binomial counts), used
+when the request pattern is not module-symmetric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.binomial import (
+    binomial_pmf,
+    poisson_binomial_pmf,
+    tail_excess,
+    validate_probability,
+)
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "bandwidth_full",
+    "bandwidth_full_heterogeneous",
+    "bandwidth_single",
+    "bandwidth_single_heterogeneous",
+    "bandwidth_partial",
+    "bandwidth_partial_heterogeneous",
+    "bandwidth_crossbar",
+    "bandwidth_crossbar_heterogeneous",
+    "request_count_pmf",
+]
+
+
+def _check_buses(n_buses: int) -> None:
+    if n_buses < 1:
+        raise ConfigurationError(f"need at least one bus, got {n_buses}")
+
+
+def request_count_pmf(n_memories: int, request_probability: float) -> np.ndarray:
+    """Return the pmf of the number of requested modules (eq. 3).
+
+    Each of the ``M`` memory-request arbiters outputs a request
+    independently with probability ``X``, so the count is
+    ``Binomial(M, X)``.
+    """
+    if n_memories < 1:
+        raise ConfigurationError(
+            f"need at least one memory module, got {n_memories}"
+        )
+    return binomial_pmf(n_memories, validate_probability(request_probability, "X"))
+
+
+def bandwidth_full(
+    n_memories: int, n_buses: int, request_probability: float
+) -> float:
+    """Memory bandwidth with full bus-memory connection (eq. 4).
+
+    ``MBW_f = M X - sum_{i=B+1}^{M} (i - B) Pf(i)``: every requested module
+    is served unless more than ``B`` modules are requested, in which case
+    exactly ``B`` are.
+
+    >>> round(bandwidth_full(8, 8, 1 - (1 - 1/8)**8), 2)  # crossbar limit
+    5.25
+    """
+    _check_buses(n_buses)
+    x = validate_probability(request_probability, "X")
+    pmf = request_count_pmf(n_memories, x)
+    return n_memories * x - tail_excess(pmf, n_buses)
+
+
+def bandwidth_full_heterogeneous(
+    module_probabilities: Sequence[float], n_buses: int
+) -> float:
+    """Heterogeneous-X generalization of eq. (4).
+
+    The count of requested modules follows a Poisson-binomial distribution
+    over the per-module probabilities ``X_j``.
+    """
+    _check_buses(n_buses)
+    xs = np.asarray(module_probabilities, dtype=float)
+    pmf = poisson_binomial_pmf(xs)
+    return float(xs.sum()) - tail_excess(pmf, n_buses)
+
+
+def bandwidth_single(
+    modules_per_bus: Sequence[int], request_probability: float
+) -> float:
+    """Memory bandwidth with single bus-memory connection (eqs. 5-6).
+
+    ``modules_per_bus[i]`` is ``M_i``, the number of modules wired to bus
+    ``i``; each bus completes one transfer whenever at least one of its
+    modules is requested: ``Y_i = 1 - (1 - X)^{M_i}``.
+
+    >>> round(bandwidth_single([2, 2, 2, 2], 1 - (1 - 1/8)**8), 2)
+    3.53
+    """
+    x = validate_probability(request_probability, "X")
+    counts = [int(c) for c in modules_per_bus]
+    if not counts:
+        raise ConfigurationError("need at least one bus")
+    if any(c < 0 for c in counts):
+        raise ConfigurationError(f"module counts must be non-negative: {counts}")
+    ys = [-np.expm1(c * np.log1p(-x)) if x < 1.0 else float(c > 0) for c in counts]
+    return float(np.sum(ys))
+
+
+def bandwidth_single_heterogeneous(
+    bus_module_probabilities: Sequence[Sequence[float]],
+) -> float:
+    """Heterogeneous-X generalization of eq. (6).
+
+    ``bus_module_probabilities[i]`` lists the ``X_j`` of the modules wired
+    to bus ``i``; ``Y_i = 1 - prod_j (1 - X_j)``.
+    """
+    if not list(bus_module_probabilities):
+        raise ConfigurationError("need at least one bus")
+    total = 0.0
+    for bus_xs in bus_module_probabilities:
+        xs = [validate_probability(float(x), "X_j") for x in bus_xs]
+        miss = np.prod([1.0 - x for x in xs]) if xs else 1.0
+        total += 1.0 - float(miss)
+    return total
+
+
+def bandwidth_partial(
+    n_memories: int,
+    n_buses: int,
+    n_groups: int,
+    request_probability: float,
+) -> float:
+    """Memory bandwidth of partial bus networks with ``g`` groups (eq. 9).
+
+    Modules and buses split into ``g`` equal groups; each subnetwork of
+    ``M/g`` modules and ``B/g`` buses behaves like an independent full
+    connection network, and bandwidths add:
+    ``MBW_p = g * MBW(M/g, B/g, X)``.  ``g = 1`` reduces to eq. (4).
+
+    >>> round(bandwidth_partial(8, 4, 2, 1 - (1 - 1/8)**8), 2)
+    3.73
+    """
+    _check_buses(n_buses)
+    if n_groups < 1:
+        raise ConfigurationError(f"need at least one group, got {n_groups}")
+    if n_memories % n_groups or n_buses % n_groups:
+        raise ConfigurationError(
+            f"g={n_groups} must divide both M={n_memories} and B={n_buses}"
+        )
+    per_group = bandwidth_full(
+        n_memories // n_groups, n_buses // n_groups, request_probability
+    )
+    return n_groups * per_group
+
+
+def bandwidth_partial_heterogeneous(
+    group_module_probabilities: Sequence[Sequence[float]],
+    buses_per_group: int,
+) -> float:
+    """Heterogeneous-X generalization of eq. (9).
+
+    ``group_module_probabilities[q]`` lists the ``X_j`` of group ``q``'s
+    modules; every group owns ``buses_per_group`` buses.
+    """
+    groups = [list(map(float, g)) for g in group_module_probabilities]
+    if not groups:
+        raise ConfigurationError("need at least one group")
+    return float(
+        np.sum(
+            [
+                bandwidth_full_heterogeneous(g, buses_per_group)
+                for g in groups
+            ]
+        )
+    )
+
+
+def bandwidth_crossbar(n_memories: int, request_probability: float) -> float:
+    """Memory bandwidth of an ``N x M`` crossbar.
+
+    A crossbar has no bus contention: every requested module is served,
+    so ``MBW = M X``.  This equals :func:`bandwidth_full` with ``B >= M``
+    and is the paper's "N x N Crossbar" row in Tables II-III.
+    """
+    x = validate_probability(request_probability, "X")
+    if n_memories < 1:
+        raise ConfigurationError(
+            f"need at least one memory module, got {n_memories}"
+        )
+    return n_memories * x
+
+
+def bandwidth_crossbar_heterogeneous(
+    module_probabilities: Sequence[float],
+) -> float:
+    """Heterogeneous-X crossbar bandwidth: ``sum_j X_j``."""
+    return float(
+        np.sum([validate_probability(float(x), "X_j") for x in module_probabilities])
+    )

@@ -1,0 +1,130 @@
+"""Closed-form bandwidth of partial bus networks with K classes (Sec. III-D).
+
+The paper's proposed architecture divides the ``M`` memory modules into
+``K`` classes; class ``C_j`` (sizes ``M_1 + ... + M_K = M``) connects to
+buses ``1 .. j + B - K``.  Under the two-step bus-assignment procedure of
+Lang et al. [10], bus ``i`` stays idle only when every class it serves has
+"few enough" requested modules — eq. (11)::
+
+    Y_i = 1 - prod_{j=a}^{K} sum_{m=0}^{j-a} Q_j(m),      a = i + K - B,
+
+where ``Q_j(m)`` is the binomial probability of exactly ``m`` requested
+modules in class ``C_j`` (eq. 10), and the bandwidth is
+``MBW_p' = sum_i Y_i`` (eq. 12).
+
+This module also generalizes eq. (10) to *per-class* request probabilities
+``X_j`` (classes holding hotter modules), which the paper's two design
+principles motivate but do not evaluate — used by the ablation experiment
+E10.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.binomial import binomial_pmf, validate_probability
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "class_request_pmfs",
+    "bus_busy_probabilities",
+    "bandwidth_kclass",
+]
+
+
+def _validate_classes(class_sizes: Sequence[int], n_buses: int) -> list[int]:
+    sizes = [int(s) for s in class_sizes]
+    if not sizes:
+        raise ConfigurationError("need at least one memory class")
+    if any(s < 0 for s in sizes):
+        raise ConfigurationError(f"class sizes must be non-negative: {sizes}")
+    if sum(sizes) < 1:
+        raise ConfigurationError("classes must hold at least one module")
+    if len(sizes) > n_buses:
+        raise ConfigurationError(
+            f"K={len(sizes)} classes require K <= B={n_buses} buses"
+        )
+    if n_buses < 1:
+        raise ConfigurationError(f"need at least one bus, got {n_buses}")
+    return sizes
+
+
+def class_request_pmfs(
+    class_sizes: Sequence[int],
+    request_probability: float | Sequence[float],
+) -> list[np.ndarray]:
+    """Return ``Q_j`` pmf vectors, one per class (eq. 10).
+
+    ``request_probability`` is either the common per-module probability
+    ``X`` or a per-class sequence ``(X_1, ..., X_K)``.  Element ``j`` of
+    the result has length ``M_j + 1`` and gives the distribution of the
+    number of requested modules within class ``C_{j+1}``.
+    """
+    sizes = [int(s) for s in class_sizes]
+    if np.isscalar(request_probability):
+        xs = [validate_probability(float(request_probability), "X")] * len(sizes)
+    else:
+        xs = [validate_probability(float(x), "X_j") for x in request_probability]
+        if len(xs) != len(sizes):
+            raise ConfigurationError(
+                f"need one X per class: {len(xs)} probabilities "
+                f"for {len(sizes)} classes"
+            )
+    return [binomial_pmf(m_j, x_j) for m_j, x_j in zip(sizes, xs)]
+
+
+def bus_busy_probabilities(
+    class_sizes: Sequence[int],
+    n_buses: int,
+    request_probability: float | Sequence[float],
+) -> np.ndarray:
+    """Return ``(Y_1, ..., Y_B)`` — probability each bus carries a transfer.
+
+    Implements eq. (11) with the paper's dummy-class convention: classes
+    with subscript ``d <= 0`` are empty (``Q_d(0) = 1``), so the product
+    simply skips them.
+
+    Parameters
+    ----------
+    class_sizes:
+        ``(M_1, ..., M_K)`` modules per class; class ``C_j`` connects to
+        buses ``1 .. j + B - K``.
+    n_buses:
+        Total bus count ``B`` (``K <= B`` required).
+    request_probability:
+        Common ``X`` from eq. (2), or per-class ``X_j`` values.
+    """
+    sizes = _validate_classes(class_sizes, n_buses)
+    n_classes = len(sizes)
+    pmfs = class_request_pmfs(sizes, request_probability)
+    # Prefix sums of each class pmf: cdf[j][m] = P(requests in C_{j+1} <= m).
+    cdfs = [np.cumsum(pmf) for pmf in pmfs]
+
+    ys = np.empty(n_buses)
+    for bus in range(1, n_buses + 1):  # paper's 1-based bus index i
+        a = bus + n_classes - n_buses  # lowest class connected to this bus
+        idle = 1.0
+        for j in range(max(a, 1), n_classes + 1):
+            allowed = j - a  # class C_j may hold at most j - a requests
+            cdf = cdfs[j - 1]
+            idx = min(allowed, len(cdf) - 1)
+            idle *= float(cdf[idx])
+        ys[bus - 1] = 1.0 - idle
+    return ys
+
+
+def bandwidth_kclass(
+    class_sizes: Sequence[int],
+    n_buses: int,
+    request_probability: float | Sequence[float],
+) -> float:
+    """Return the memory bandwidth ``MBW_p'`` of eq. (12).
+
+    >>> round(bandwidth_kclass([2, 2, 2, 2], 4, 0.65639), 3)  # N=8, uniform
+    3.68
+    """
+    return float(
+        np.sum(bus_busy_probabilities(class_sizes, n_buses, request_probability))
+    )

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` from bad API usage, etc.)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A system was configured with structurally invalid parameters.
+
+    Examples: a multiple bus network with more buses than memory modules,
+    a partial bus network whose group count does not divide the bus count,
+    or a K-class network with ``K > B``.
+    """
+
+
+class ModelError(ReproError):
+    """A request model was constructed with invalid probabilities.
+
+    Examples: request fractions that do not sum to one, a negative request
+    rate, or a hierarchy whose cluster sizes do not factor the machine size.
+    """
+
+
+class SimulationError(ReproError):
+    """The Monte-Carlo simulator was driven with inconsistent inputs.
+
+    Examples: a request model whose dimensions do not match the topology,
+    or a non-positive cycle count.
+    """
+
+
+class FaultError(ReproError):
+    """A fault-injection request was invalid.
+
+    Examples: failing a bus index that does not exist, or failing every bus
+    of a network and then asking for its bandwidth.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was asked for an unknown table or figure."""

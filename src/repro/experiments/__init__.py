@@ -1,0 +1,69 @@
+"""Reproduction experiments: one module per paper table/figure/claim set.
+
+Registry::
+
+    from repro.experiments import EXPERIMENTS
+    result = EXPERIMENTS["table2"]()
+    print(result.rendered)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    ablation,
+    approximation,
+    claims,
+    figures,
+    nxm,
+    resubmission,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    validation,
+)
+from repro.experiments.base import CellComparison, ExperimentResult
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "CellComparison",
+]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "figures": figures.run,
+    "claims": claims.run,
+    "validation": validation.run,
+    "ablation": ablation.run,
+    "nxm": nxm.run,
+    "resubmission": resubmission.run,
+    "approximation": approximation.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one registered experiment by id.
+
+    Raises :class:`~repro.exceptions.ExperimentError` for unknown ids.
+    """
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()

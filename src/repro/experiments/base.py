@@ -1,0 +1,114 @@
+"""Shared experiment infrastructure: results, paper comparison, rendering.
+
+Each experiment module exposes ``run() -> ExperimentResult``.  A result
+bundles the computed records, a paper-style rendered table, and cell-by-
+cell comparisons against the transcribed published values, so tests can
+assert reproduction quality and humans can eyeball the table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+from repro.experiments.paper_data import TOLERANCE
+
+__all__ = ["CellComparison", "ExperimentResult", "compare_cells"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellComparison:
+    """Our value vs the paper's for a single table cell."""
+
+    cell: str
+    computed: float
+    paper: float
+
+    @property
+    def abs_error(self) -> float:
+        """Absolute difference |computed - paper|."""
+        return abs(self.computed - self.paper)
+
+    @property
+    def within_tolerance(self) -> bool:
+        """True when the cell reproduces at the paper's printed precision."""
+        return self.abs_error <= TOLERANCE
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of one table/figure reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        Short id (``"table2"``, ``"fig3"``, ...).
+    title:
+        Human-readable description echoing the paper's caption.
+    records:
+        Flat record dicts of everything computed (full grid, not just the
+        cells the paper printed).
+    rendered:
+        Paper-style plain text rendering.
+    comparisons:
+        Cell-by-cell comparison against the transcribed paper values
+        (empty for structural artifacts like the figures).
+    """
+
+    experiment_id: str
+    title: str
+    records: list[dict[str, object]]
+    rendered: str
+    comparisons: list[CellComparison]
+
+    @property
+    def max_abs_error(self) -> float:
+        """Largest |computed - paper| over the compared cells (0 if none)."""
+        if not self.comparisons:
+            return 0.0
+        return max(c.abs_error for c in self.comparisons)
+
+    @property
+    def n_compared(self) -> int:
+        """Number of paper cells compared."""
+        return len(self.comparisons)
+
+    def all_within_tolerance(self) -> bool:
+        """True when every compared cell reproduces the paper's print."""
+        return all(c.within_tolerance for c in self.comparisons)
+
+    def mismatches(self) -> list[CellComparison]:
+        """Cells exceeding the tolerance (ideally empty)."""
+        return [c for c in self.comparisons if not c.within_tolerance]
+
+    def summary(self) -> str:
+        """One-line reproduction verdict."""
+        if not self.comparisons:
+            return f"{self.experiment_id}: structural artifact, no paper cells"
+        verdict = "OK" if self.all_within_tolerance() else "MISMATCH"
+        return (
+            f"{self.experiment_id}: {self.n_compared} paper cells, "
+            f"max |err| = {self.max_abs_error:.4f} -> {verdict}"
+        )
+
+
+def compare_cells(
+    computed: Mapping[tuple, float],
+    paper_cells: Sequence[tuple[tuple, float]],
+    label: str,
+) -> list[CellComparison]:
+    """Pair computed grid values with transcribed paper cells.
+
+    ``computed`` maps grid keys to our values; ``paper_cells`` is the
+    output of :func:`repro.experiments.paper_data.iter_cells`.  Keys the
+    paper printed but we did not compute raise ``KeyError`` — the grid
+    must cover the paper.
+    """
+    return [
+        CellComparison(
+            cell=f"{label}{key}",
+            computed=float(computed[key]),
+            paper=paper_value,
+        )
+        for key, paper_value in paper_cells
+    ]

@@ -1,0 +1,183 @@
+"""E8 — Section IV's narrative claims, as computable checks.
+
+Beyond the raw tables, the paper draws quantitative conclusions; each
+becomes a record with the measured quantity and a pass flag:
+
+1. Hierarchical bandwidth >= uniform bandwidth for every scheme/size.
+2. Single connection, MBW(B=N) / MBW(B=N/2): ~1.5 (unif, r=1.0),
+   ~1.2 (unif, r=0.5), ~1.6 (hier, r=1.0), ~1.28 (hier, r=0.5).
+3. Full connection with B = N matches the N x N crossbar; so does single
+   connection with B = N.
+4. At r = 0.5, B = N/2 performs close to the crossbar (full connection).
+5. Bandwidth ordering: full >= partial >= single at equal (N, B); the
+   K-class network tracks the partial network closely.
+6. Performance/cost: single is the most cost-effective, full the least.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.sweep import paper_model_pair
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentResult
+from repro.topology.cost import cost_report, performance_cost_ratio
+from repro.topology.factory import build_network
+
+__all__ = ["run"]
+
+
+def _mbw(scheme: str, n: int, b: int, model, **kwargs) -> float:
+    return analytic_bandwidth(build_network(scheme, n, n, b, **kwargs), model)
+
+
+def _record(claim: str, detail: str, value: float, passed: bool) -> dict:
+    return {
+        "claim": claim,
+        "detail": detail,
+        "value": round(value, 4),
+        "passed": passed,
+    }
+
+
+def run() -> ExperimentResult:
+    """Evaluate every Section IV claim; all should pass."""
+    records: list[dict[str, object]] = []
+
+    # Claim 1: hier >= unif everywhere the paper tabulates.
+    worst_gap = float("inf")
+    for scheme, bus_counts in (
+        ("full", (1, 2, 4, 8)),
+        ("single", (1, 2, 4, 8)),
+        ("partial", (2, 4, 8)),
+        ("kclass", (2, 4, 8)),
+    ):
+        for n in (8, 16):
+            for rate in (1.0, 0.5):
+                models = paper_model_pair(n, rate)
+                for b in bus_counts:
+                    if b > n:
+                        continue
+                    gap = _mbw(scheme, n, b, models["hier"]) - _mbw(
+                        scheme, n, b, models["unif"]
+                    )
+                    worst_gap = min(worst_gap, gap)
+    records.append(
+        _record(
+            "hier >= unif",
+            "min(MBW_hier - MBW_unif) over schemes x N x B x r",
+            worst_gap,
+            worst_gap >= -1e-9,
+        )
+    )
+
+    # Claim 2: single-connection N-bus vs N/2-bus ratios (N = 32).
+    n = 32
+    expectations = (
+        ("unif", 1.0, 1.5),
+        ("unif", 0.5, 1.2),
+        ("hier", 1.0, 1.6),
+        ("hier", 0.5, 1.28),
+    )
+    for model_name, rate, expected in expectations:
+        model = paper_model_pair(n, rate)[model_name]
+        ratio = _mbw("single", n, n, model) / _mbw("single", n, n // 2, model)
+        records.append(
+            _record(
+                "single B=N / B=N/2 ratio",
+                f"{model_name}, r={rate}: expected ~{expected}",
+                ratio,
+                abs(ratio - expected) < 0.12,
+            )
+        )
+
+    # Claim 3: crossbar equivalences at B = N.
+    for n in (8, 16):
+        model = paper_model_pair(n, 1.0)["hier"]
+        xbar = analytic_bandwidth(build_network("crossbar", n, n, n), model)
+        for scheme in ("full", "single"):
+            diff = abs(_mbw(scheme, n, n, model) - xbar)
+            records.append(
+                _record(
+                    f"{scheme}(B=N) == crossbar",
+                    f"N={n}, hier, r=1.0: |difference|",
+                    diff,
+                    diff < 1e-9,
+                )
+            )
+
+    # Claim 4: at r = 0.5 the half-populated bus pool nears the crossbar.
+    for n in (8, 16):
+        model = paper_model_pair(n, 0.5)["hier"]
+        ratio = _mbw("full", n, n // 2, model) / analytic_bandwidth(
+            build_network("crossbar", n, n, n), model
+        )
+        records.append(
+            _record(
+                "r=0.5: B=N/2 close to crossbar",
+                f"N={n}, full, hier: MBW ratio",
+                ratio,
+                ratio > 0.9,
+            )
+        )
+
+    # Claim 5: scheme ordering and partial-vs-kclass proximity.
+    for n, b in ((16, 4), (16, 8), (32, 8)):
+        model = paper_model_pair(n, 1.0)["hier"]
+        full = _mbw("full", n, b, model)
+        partial = _mbw("partial", n, b, model)
+        kclass = _mbw("kclass", n, b, model)
+        single = _mbw("single", n, b, model)
+        records.append(
+            _record(
+                "full >= partial >= single",
+                f"N={n}, B={b}, hier, r=1.0",
+                full - single,
+                full >= partial - 1e-9 and partial >= single - 1e-9,
+            )
+        )
+        rel = abs(partial - kclass) / partial
+        records.append(
+            _record(
+                "kclass tracks partial",
+                f"N={n}, B={b}: relative gap",
+                rel,
+                rel < 0.05,
+            )
+        )
+
+    # Claim 6: performance/cost ordering (single best, full worst).
+    n, b = 16, 8
+    model = paper_model_pair(n, 1.0)["hier"]
+    ratios = {}
+    for scheme in ("full", "partial", "kclass", "single"):
+        network = build_network(scheme, n, n, b)
+        ratios[scheme] = performance_cost_ratio(
+            analytic_bandwidth(network, model), cost_report(network)
+        )
+    records.append(
+        _record(
+            "single most cost-effective",
+            f"N={n}, B={b}: MBW/connection, single vs best other",
+            ratios["single"] / max(ratios["full"], ratios["partial"], ratios["kclass"]),
+            ratios["single"] >= max(ratios.values()) - 1e-12,
+        )
+    )
+    records.append(
+        _record(
+            "full least cost-effective",
+            f"N={n}, B={b}: MBW/connection, full vs worst other",
+            ratios["full"] / min(ratios.values()),
+            ratios["full"] <= min(ratios.values()) + 1e-12,
+        )
+    )
+
+    rendered = render_table(
+        records, title="Section IV claims, recomputed"
+    )
+    return ExperimentResult(
+        experiment_id="claims",
+        title="Section IV narrative claims",
+        records=records,
+        rendered=rendered,
+        comparisons=[],
+    )

@@ -1,0 +1,96 @@
+"""E7 — Figures 1-4: the four network topologies, structurally verified.
+
+The paper's figures are wiring diagrams, so their "reproduction" is
+structural: build each drawn network, render its connection pattern, and
+check every property the figure or its caption pins down (who connects
+to what, connection counts, per-bus loads, fault-tolerance degrees).
+Figure 3 is fully concrete (a 3 x 6 x 4 partial bus network with three
+classes), making it the sharpest structural test.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import CellComparison, ExperimentResult
+from repro.topology.cost import cost_report, expected_connections
+from repro.topology.factory import paper_figure_networks
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Build and verify the four figure topologies."""
+    networks = paper_figure_networks()
+    records: list[dict[str, object]] = []
+    comparisons: list[CellComparison] = []
+    diagrams: list[str] = []
+
+    for name, network in networks.items():
+        network.validate()
+        report = cost_report(network)
+        records.append({"figure": name, **report.as_row()})
+        diagrams.append(network.connection_diagram())
+        comparisons.append(
+            CellComparison(
+                cell=f"{name}.connections",
+                computed=float(report.connections),
+                paper=float(expected_connections(network)),
+            )
+        )
+
+    # Figure-specific structural facts.
+    fig1 = networks["fig1_full"]
+    comparisons.append(
+        CellComparison(
+            cell="fig1.fault_tolerance(B-1)",
+            computed=float(fig1.degree_of_fault_tolerance()),
+            paper=float(fig1.n_buses - 1),
+        )
+    )
+    fig2 = networks["fig2_partial_g2"]
+    comparisons.append(
+        CellComparison(
+            cell="fig2.fault_tolerance(B/g-1)",
+            computed=float(fig2.degree_of_fault_tolerance()),
+            paper=float(fig2.n_buses // fig2.n_groups - 1),
+        )
+    )
+    fig3 = networks["fig3_kclass_3x6x4"]
+    # Caption: class C_j connects to buses 1..(j + B - K); B=4, K=3.
+    for j, expected_width in ((1, 2), (2, 3), (3, 4)):
+        comparisons.append(
+            CellComparison(
+                cell=f"fig3.C{j}.bus_width",
+                computed=float(len(fig3.buses_of_class(j))),
+                paper=float(expected_width),
+            )
+        )
+    comparisons.append(
+        CellComparison(
+            cell="fig3.fault_tolerance(B-K)",
+            computed=float(fig3.degree_of_fault_tolerance()),
+            paper=float(fig3.n_buses - fig3.n_classes),
+        )
+    )
+    fig4 = networks["fig4_single"]
+    comparisons.append(
+        CellComparison(
+            cell="fig4.fault_tolerance(0)",
+            computed=float(fig4.degree_of_fault_tolerance()),
+            paper=0.0,
+        )
+    )
+    comparisons.append(
+        CellComparison(
+            cell="fig4.buses_per_module",
+            computed=float(fig4.memory_bus_matrix().sum(axis=1).max()),
+            paper=1.0,
+        )
+    )
+
+    return ExperimentResult(
+        experiment_id="figures",
+        title="Figures 1-4: multiple bus network topologies",
+        records=records,
+        rendered="\n\n".join(diagrams),
+        comparisons=comparisons,
+    )

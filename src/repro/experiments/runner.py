@@ -1,0 +1,97 @@
+"""Command-line entry point: ``repro-experiments [ids... | all]``.
+
+Prints each experiment's rendered table and its reproduction verdict,
+and exits non-zero if any compared cell misses the paper's printed value
+— so the whole reproduction doubles as a shell-level check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the requested experiments; return a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of Chen & Sheu, "
+            "'Performance Analysis of Multiple Bus Interconnection "
+            "Networks with Hierarchical Requesting Model' (ICDCS 1988)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help=(
+            "experiment ids to run (default: all); known: "
+            + ", ".join(sorted(EXPERIMENTS))
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the per-experiment verdicts",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of rendered tables",
+    )
+    args = parser.parse_args(argv)
+
+    requested = list(args.experiments)
+    if requested == ["all"] or requested == []:
+        requested = sorted(EXPERIMENTS)
+
+    if args.json:
+        import json
+
+        payload = []
+        failed = False
+        for experiment_id in requested:
+            result = run_experiment(experiment_id)
+            ok = result.all_within_tolerance()
+            failed = failed or not ok
+            payload.append(
+                {
+                    "experiment_id": result.experiment_id,
+                    "title": result.title,
+                    "paper_cells_compared": result.n_compared,
+                    "max_abs_error": result.max_abs_error,
+                    "reproduces": ok,
+                    "records": result.records,
+                }
+            )
+        print(json.dumps(payload, indent=2, default=str))
+        return 1 if failed else 0
+
+    failed = False
+    for experiment_id in requested:
+        result = run_experiment(experiment_id)
+        if not args.quiet:
+            print(f"=== {result.title} ===")
+            print(result.rendered)
+        print(result.summary())
+        if not args.quiet:
+            print()
+        if not result.all_within_tolerance():
+            failed = True
+            for mismatch in result.mismatches():
+                print(
+                    f"  MISMATCH {mismatch.cell}: computed "
+                    f"{mismatch.computed:.4f}, paper {mismatch.paper:.4f}",
+                    file=sys.stderr,
+                )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""E2 — Table II: full bus-memory connection bandwidth at r = 1.0."""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult
+from repro.experiments.tables_common import full_connection_table
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table II (hier vs unif, N in {8, 12, 16}, B = 1..N)."""
+    return full_connection_table(
+        "table2",
+        rate=1.0,
+        paper_table=paper_data.TABLE_II,
+        paper_crossbar=paper_data.CROSSBAR_II,
+    )

@@ -1,0 +1,19 @@
+"""E3 — Table III: full bus-memory connection bandwidth at r = 0.5."""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult
+from repro.experiments.tables_common import full_connection_table
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table III (hier vs unif, N in {8, 12, 16}, B = 1..N)."""
+    return full_connection_table(
+        "table3",
+        rate=0.5,
+        paper_table=paper_data.TABLE_III,
+        paper_crossbar=paper_data.CROSSBAR_III,
+    )

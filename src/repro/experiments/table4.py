@@ -1,0 +1,22 @@
+"""E4 — Table IV: single bus-memory connection, N/B modules per bus."""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult
+from repro.experiments.tables_common import scheme_table
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table IV (r in {1.0, 0.5}, N in {8, 16, 32})."""
+    return scheme_table(
+        "table4",
+        title=(
+            "Table IV: MBW of N x N x B networks with single "
+            "bus-memory connection"
+        ),
+        scheme="single",
+        paper_table=paper_data.TABLE_IV,
+    )

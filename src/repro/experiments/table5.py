@@ -1,0 +1,21 @@
+"""E5 — Table V: partial bus networks with g = 2 groups."""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult
+from repro.experiments.tables_common import scheme_table
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table V (r in {1.0, 0.5}, N in {8, 16, 32}, g = 2)."""
+    return scheme_table(
+        "table5",
+        title="Table V: MBW of N x N x B partial bus networks with g = 2",
+        scheme="partial",
+        paper_table=paper_data.TABLE_V,
+        bus_counts=(2, 4, 8, 16, 32),
+        n_groups=2,
+    )

@@ -1,0 +1,23 @@
+"""E6 — Table VI: partial bus networks with K = B equal classes."""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult
+from repro.experiments.tables_common import scheme_table
+
+__all__ = ["run"]
+
+
+def run() -> ExperimentResult:
+    """Reproduce Table VI (r in {1.0, 0.5}, N in {8, 16, 32}, K = B)."""
+    return scheme_table(
+        "table6",
+        title=(
+            "Table VI: MBW of N x N x B partial bus networks with "
+            "K = B classes"
+        ),
+        scheme="kclass",
+        paper_table=paper_data.TABLE_VI,
+        bus_counts=(2, 4, 8, 16, 32),
+    )

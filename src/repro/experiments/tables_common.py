@@ -1,0 +1,190 @@
+"""Grid computation and rendering shared by the table experiments."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.tables import render_matrix
+from repro.core.request_models import RequestModel
+from repro.analysis.sweep import paper_model_pair
+from repro.exceptions import ConfigurationError
+from repro.experiments.base import CellComparison, ExperimentResult, compare_cells
+from repro.experiments import paper_data
+from repro.topology.factory import build_network
+
+__all__ = ["full_connection_table", "scheme_table"]
+
+_MODELS = ("hier", "unif")
+
+
+def _grid_value(
+    scheme: str, n: int, b: int, model: RequestModel, **kwargs
+) -> float | None:
+    try:
+        network = build_network(scheme, n, n, b, **kwargs)
+    except ConfigurationError:
+        return None
+    return analytic_bandwidth(network, model)
+
+
+def full_connection_table(
+    experiment_id: str,
+    rate: float,
+    paper_table: dict,
+    paper_crossbar: dict,
+    machine_sizes: Sequence[int] = (8, 12, 16),
+) -> ExperimentResult:
+    """Reproduce Table II or III: full connection, ``B = 1..N`` + crossbar."""
+    records: list[dict[str, object]] = []
+    computed: dict[tuple, dict[str, float]] = {}
+    crossbar: dict[int, dict[str, float]] = {}
+    for n in machine_sizes:
+        models = paper_model_pair(n, rate)
+        for b in range(1, n + 1):
+            cell: dict[str, float] = {}
+            for name in _MODELS:
+                value = _grid_value("full", n, b, models[name])
+                cell[name] = value
+                records.append(
+                    {
+                        "scheme": "full", "N": n, "B": b, "r": rate,
+                        "model": name, "bandwidth": value,
+                    }
+                )
+            computed[(n, b)] = cell
+        xbar: dict[str, float] = {}
+        for name in _MODELS:
+            value = _grid_value("crossbar", n, n, models[name])
+            xbar[name] = value
+            records.append(
+                {
+                    "scheme": "crossbar", "N": n, "B": n, "r": rate,
+                    "model": name, "bandwidth": value,
+                }
+            )
+        crossbar[n] = xbar
+
+    comparisons: list[CellComparison] = []
+    for name in _MODELS:
+        comparisons.extend(
+            compare_cells(
+                {key: cell[name] for key, cell in computed.items()},
+                paper_data.iter_cells(paper_table, name),
+                label=f"{name} ",
+            )
+        )
+        comparisons.extend(
+            compare_cells(
+                {n: crossbar[n][name] for n in crossbar},
+                [(n, pair[0 if name == "hier" else 1])
+                 for n, pair in paper_crossbar.items()],
+                label=f"{name} crossbar N=",
+            )
+        )
+
+    max_b = max(machine_sizes)
+    values = {}
+    for (n, b), cell in computed.items():
+        for name in _MODELS:
+            values[(b, f"N={n} {name}")] = cell[name]
+    for n, cell in crossbar.items():
+        for name in _MODELS:
+            values[("xbar", f"N={n} {name}")] = cell[name]
+    rendered = render_matrix(
+        list(range(1, max_b + 1)) + ["xbar"],
+        [f"N={n} {name}" for n in machine_sizes for name in _MODELS],
+        values,
+        corner="B",
+        title=(
+            f"Memory bandwidth, full bus-memory connection, r = {rate} "
+            "(xbar = N x N crossbar)"
+        ),
+    )
+    title = (
+        f"Table {'II' if rate == 1.0 else 'III'}: MBW of N x N x B networks "
+        f"with full bus-memory connection, r = {rate}"
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        records=records,
+        rendered=rendered,
+        comparisons=comparisons,
+    )
+
+
+def scheme_table(
+    experiment_id: str,
+    title: str,
+    scheme: str,
+    paper_table: dict,
+    machine_sizes: Sequence[int] = (8, 16, 32),
+    bus_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    rates: Sequence[float] = (1.0, 0.5),
+    **network_kwargs,
+) -> ExperimentResult:
+    """Reproduce one of Tables IV-VI: a (r, N, B) grid for one scheme."""
+    records: list[dict[str, object]] = []
+    computed: dict[tuple, dict[str, float]] = {}
+    for rate in rates:
+        for n in machine_sizes:
+            models = paper_model_pair(n, rate)
+            for b in bus_counts:
+                if b > n:
+                    continue
+                cell: dict[str, float] = {}
+                for name in _MODELS:
+                    value = _grid_value(
+                        scheme, n, b, models[name], **network_kwargs
+                    )
+                    if value is None:
+                        continue
+                    cell[name] = value
+                    records.append(
+                        {
+                            "scheme": scheme, "N": n, "B": b, "r": rate,
+                            "model": name, "bandwidth": value,
+                        }
+                    )
+                if cell:
+                    computed[(rate, n, b)] = cell
+
+    comparisons: list[CellComparison] = []
+    for name in _MODELS:
+        grid = {
+            key: cell[name]
+            for key, cell in computed.items()
+            if name in cell
+        }
+        comparisons.extend(
+            compare_cells(
+                grid, paper_data.iter_cells(paper_table, name),
+                label=f"{name} ",
+            )
+        )
+
+    panels = []
+    for rate in rates:
+        values = {
+            (b, f"N={n} {name}"): cell[name]
+            for (r, n, b), cell in computed.items()
+            if r == rate
+            for name in cell
+        }
+        panels.append(
+            render_matrix(
+                [b for b in bus_counts if any(k[0] == b for k in values)],
+                [f"N={n} {name}" for n in machine_sizes for name in _MODELS],
+                values,
+                corner="B",
+                title=f"{title} (r = {rate})",
+            )
+        )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        records=records,
+        rendered="\n\n".join(panels),
+        comparisons=comparisons,
+    )

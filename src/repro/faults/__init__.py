@@ -1,0 +1,20 @@
+"""Fault injection and degraded-mode bandwidth analysis."""
+
+from repro.faults.analysis import (
+    DegradationPoint,
+    analytic_degraded_bandwidth,
+    degradation_curve,
+    simulated_degraded_bandwidth,
+    verify_fault_tolerance_degree,
+)
+from repro.faults.injection import DegradedNetwork, fail_buses
+
+__all__ = [
+    "DegradedNetwork",
+    "fail_buses",
+    "verify_fault_tolerance_degree",
+    "analytic_degraded_bandwidth",
+    "simulated_degraded_bandwidth",
+    "DegradationPoint",
+    "degradation_curve",
+]

@@ -1,0 +1,122 @@
+"""Bus fault injection (Section II-B's fault-tolerance claims, made testable).
+
+A degraded network wraps a base topology with a set of failed buses: the
+failed buses' columns are zeroed in the connection matrices, so every
+consumer — cost metrics, reachability, the simulator (via the generic
+matching arbiter) — sees the degraded structure without special cases.
+Modules left with no live bus become *inaccessible*; requests to them are
+never served.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import FaultError
+from repro.topology.network import MultipleBusNetwork
+
+__all__ = ["DegradedNetwork", "fail_buses"]
+
+
+class DegradedNetwork(MultipleBusNetwork):
+    """A topology with some buses marked failed.
+
+    The bus count ``B`` is preserved (failed buses still physically exist)
+    but failed columns carry no connections.  Unlike healthy topologies, a
+    degraded network may contain unreachable modules;
+    :meth:`validate` therefore only checks shapes, and
+    :meth:`accessible_memories` reports reachability.
+    """
+
+    scheme = "degraded"
+
+    def __init__(self, base: MultipleBusNetwork, failed_buses: Iterable[int]):
+        failed = sorted({int(b) for b in failed_buses})
+        for bus in failed:
+            if not 0 <= bus < base.n_buses:
+                raise FaultError(
+                    f"cannot fail bus {bus}: valid range "
+                    f"[0, {base.n_buses})"
+                )
+        if len(failed) >= base.n_buses:
+            raise FaultError(
+                f"failing all {base.n_buses} buses leaves no network"
+            )
+        super().__init__(base.n_processors, base.n_memories, base.n_buses)
+        self._base = base
+        self._failed = tuple(failed)
+
+    @property
+    def base(self) -> MultipleBusNetwork:
+        """The healthy topology this degrades."""
+        return self._base
+
+    @property
+    def failed_buses(self) -> tuple[int, ...]:
+        """Sorted indices of the failed buses."""
+        return self._failed
+
+    @property
+    def alive_buses(self) -> tuple[int, ...]:
+        """Sorted indices of the surviving buses."""
+        dead = set(self._failed)
+        return tuple(b for b in range(self.n_buses) if b not in dead)
+
+    def processor_bus_matrix(self) -> np.ndarray:
+        pbm = self._base.processor_bus_matrix().copy()
+        pbm[:, list(self._failed)] = False
+        return pbm
+
+    def memory_bus_matrix(self) -> np.ndarray:
+        mbm = self._base.memory_bus_matrix().copy()
+        mbm[:, list(self._failed)] = False
+        return mbm
+
+    def inaccessible_memories(self) -> np.ndarray:
+        """Return the indices of modules with no surviving bus."""
+        return np.flatnonzero(~self.memory_bus_matrix().any(axis=1))
+
+    def is_fully_accessible(self) -> bool:
+        """True when every module still reaches at least one live bus."""
+        return bool(self.memory_bus_matrix().any(axis=1).all())
+
+    def degree_of_fault_tolerance(self) -> int:
+        """Remaining tolerance; ``-1`` once a module is already cut off."""
+        per_module = self.memory_bus_matrix().sum(axis=1)
+        return int(per_module.min()) - 1
+
+    def validate(self) -> None:
+        """Shape checks only — orphan modules are legal when degraded."""
+        pbm = self.processor_bus_matrix()
+        mbm = self.memory_bus_matrix()
+        if pbm.shape != (self.n_processors, self.n_buses):
+            raise FaultError(
+                f"processor-bus matrix shape {pbm.shape} != "
+                f"{(self.n_processors, self.n_buses)}"
+            )
+        if mbm.shape != (self.n_memories, self.n_buses):
+            raise FaultError(
+                f"memory-bus matrix shape {mbm.shape} != "
+                f"{(self.n_memories, self.n_buses)}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DegradedNetwork(base={self._base!r}, "
+            f"failed_buses={self._failed})"
+        )
+
+
+def fail_buses(
+    network: MultipleBusNetwork, failed_buses: Iterable[int]
+) -> DegradedNetwork:
+    """Return a degraded view of ``network`` with the given buses failed.
+
+    Failing buses of an already-degraded network accumulates failures.
+    """
+    if isinstance(network, DegradedNetwork):
+        combined = set(network.failed_buses) | {int(b) for b in failed_buses}
+        return DegradedNetwork(network.base, combined)
+    return DegradedNetwork(network, failed_buses)

@@ -1,0 +1,17 @@
+"""Cycle-level Monte-Carlo simulation of multiple bus multiprocessors."""
+
+from repro.simulation.engine import MultiprocessorSimulator, simulate_bandwidth
+from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.resubmission import (
+    ResubmissionResult,
+    ResubmissionSimulator,
+)
+
+__all__ = [
+    "MultiprocessorSimulator",
+    "simulate_bandwidth",
+    "MetricsCollector",
+    "SimulationResult",
+    "ResubmissionSimulator",
+    "ResubmissionResult",
+]

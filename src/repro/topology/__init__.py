@@ -1,0 +1,37 @@
+"""Network topology descriptions and the Table I cost model."""
+
+from repro.topology.cost import (
+    CostReport,
+    cost_report,
+    expected_connections,
+    performance_cost_ratio,
+    symbolic_table,
+)
+from repro.topology.crossbar import CrossbarNetwork
+from repro.topology.factory import (
+    build_network,
+    equal_class_sizes,
+    paper_figure_networks,
+)
+from repro.topology.full import FullBusMemoryNetwork
+from repro.topology.kclass import KClassPartialBusNetwork
+from repro.topology.network import MultipleBusNetwork
+from repro.topology.partial import PartialBusNetwork
+from repro.topology.single import SingleBusMemoryNetwork
+
+__all__ = [
+    "MultipleBusNetwork",
+    "FullBusMemoryNetwork",
+    "SingleBusMemoryNetwork",
+    "PartialBusNetwork",
+    "KClassPartialBusNetwork",
+    "CrossbarNetwork",
+    "CostReport",
+    "cost_report",
+    "expected_connections",
+    "symbolic_table",
+    "performance_cost_ratio",
+    "build_network",
+    "equal_class_sizes",
+    "paper_figure_networks",
+]

@@ -1,0 +1,157 @@
+"""Cost and fault-tolerance evaluation of bus-memory schemes (Table I).
+
+Two views are provided:
+
+* :func:`cost_report` — concrete numbers for a topology instance, computed
+  structurally from its connection matrices.
+* :func:`symbolic_table` — the paper's symbolic Table I rows, as formula
+  strings, for documentation and the E1 benchmark.
+
+The closed-form expressions of Table I are also re-derived here
+(:func:`expected_connections`) so tests can confirm that the structural
+computation and the paper's formulas agree for every scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.topology.crossbar import CrossbarNetwork
+from repro.topology.full import FullBusMemoryNetwork
+from repro.topology.kclass import KClassPartialBusNetwork
+from repro.topology.network import MultipleBusNetwork
+from repro.topology.partial import PartialBusNetwork
+from repro.topology.single import SingleBusMemoryNetwork
+
+__all__ = [
+    "CostReport",
+    "cost_report",
+    "expected_connections",
+    "symbolic_table",
+    "performance_cost_ratio",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostReport:
+    """Concrete Table I row for one network instance.
+
+    Attributes
+    ----------
+    scheme:
+        Connection scheme name (``full`` / ``single`` / ``partial`` /
+        ``kclass`` / ``crossbar``).
+    connections:
+        Total physical connection count.
+    bus_loads:
+        Per-bus device counts (processors + modules attached).
+    max_bus_load:
+        The heaviest bus — the paper's drive-requirement proxy.
+    degree_of_fault_tolerance:
+        Bus failures tolerable with every module still reachable.
+    """
+
+    scheme: str
+    connections: int
+    bus_loads: tuple[int, ...]
+    max_bus_load: int
+    degree_of_fault_tolerance: int
+
+    def as_row(self) -> dict[str, object]:
+        """Return a flat dict suitable for table rendering."""
+        return {
+            "scheme": self.scheme,
+            "connections": self.connections,
+            "max bus load": self.max_bus_load,
+            "fault tolerance": self.degree_of_fault_tolerance,
+        }
+
+
+def cost_report(network: MultipleBusNetwork) -> CostReport:
+    """Evaluate the Table I metrics for a concrete network."""
+    loads = network.bus_loads()
+    return CostReport(
+        scheme=network.scheme,
+        connections=network.connection_count(),
+        bus_loads=tuple(int(load) for load in loads),
+        max_bus_load=int(np.max(loads)),
+        degree_of_fault_tolerance=network.degree_of_fault_tolerance(),
+    )
+
+
+def expected_connections(network: MultipleBusNetwork) -> int:
+    """Return Table I's closed-form connection count for the network.
+
+    * full: ``B (N + M)``
+    * single: ``B N + M``
+    * partial (g groups): ``B (N + M/g)``
+    * K classes: ``B N + sum_j M_j (j + B - K)``
+    * crossbar: ``N M``
+
+    Raises ``TypeError`` for unknown network types; tests compare this
+    value against the structural :meth:`connection_count`.
+    """
+    if not isinstance(network, MultipleBusNetwork):
+        raise TypeError(
+            f"expected a MultipleBusNetwork, got {type(network).__name__}"
+        )
+    n, m, b = network.n_processors, network.n_memories, network.n_buses
+    if isinstance(network, CrossbarNetwork):
+        return n * m
+    if isinstance(network, KClassPartialBusNetwork):
+        k = network.n_classes
+        module_side = sum(
+            m_j * (j + b - k)
+            for j, m_j in enumerate(network.class_sizes, start=1)
+        )
+        return b * n + module_side
+    if isinstance(network, PartialBusNetwork):
+        return b * (n + m // network.n_groups)
+    if isinstance(network, SingleBusMemoryNetwork):
+        return b * n + m
+    if isinstance(network, FullBusMemoryNetwork):
+        return b * (n + m)
+    raise TypeError(f"no Table I formula for {type(network).__name__}")
+
+
+def symbolic_table() -> list[dict[str, str]]:
+    """Return the paper's Table I verbatim, as symbolic formula strings."""
+    return [
+        {
+            "scheme": "Multiple bus with full bus-memory connection",
+            "connections": "B(N + M)",
+            "load of bus i": "N + M",
+            "fault tolerance": "B - 1",
+        },
+        {
+            "scheme": "Multiple bus with single bus-memory connection",
+            "connections": "BN + M",
+            "load of bus i": "N + M_i",
+            "fault tolerance": "0",
+        },
+        {
+            "scheme": "Partial bus network",
+            "connections": "B(N + M/g)",
+            "load of bus i": "N + M/g",
+            "fault tolerance": "B/g - 1",
+        },
+        {
+            "scheme": "Partial bus network with K classes",
+            "connections": "BN + sum_{j=1..K} M_j (j + B - K)",
+            "load of bus i": "N + sum_{j=max(i+K-B,1)..K} M_j",
+            "fault tolerance": "B - K",
+        },
+    ]
+
+
+def performance_cost_ratio(bandwidth: float, report: CostReport) -> float:
+    """Bandwidth per connection — the paper's Section IV comparison metric.
+
+    The paper argues single connection maximizes this ratio, full
+    connection minimizes it, and partial schemes land in between.
+    """
+    if report.connections <= 0:
+        raise ValueError("cost report has non-positive connection count")
+    return bandwidth / report.connections

@@ -1,0 +1,42 @@
+"""The ``N x M`` crossbar baseline.
+
+The crossbar allows all one-to-one simultaneous processor-module
+connections; only memory interference limits its bandwidth.  The paper
+uses it as the upper-bound row of Tables II-III and notes its prohibitive
+``O(N^2)`` cost.  Structurally we embed it in the multiple-bus framework
+as a full connection network with ``B = min(N, M)`` buses — bandwidth-
+equivalent because at most ``min(N, M)`` transfers can happen per cycle —
+while reporting the true crosspoint cost ``N * M``.
+"""
+
+from __future__ import annotations
+
+from repro.topology.full import FullBusMemoryNetwork
+
+__all__ = ["CrossbarNetwork"]
+
+
+class CrossbarNetwork(FullBusMemoryNetwork):
+    """An ``N x M`` crossbar, bandwidth-equivalent to full connection with
+    ``B = min(N, M)`` buses."""
+
+    scheme = "crossbar"
+
+    def __init__(self, n_processors: int, n_memories: int):
+        super().__init__(
+            n_processors, n_memories, n_buses=min(n_processors, n_memories)
+        )
+
+    def connection_count(self) -> int:
+        """Crosspoint count ``N * M`` — the paper's ``O(N^2)`` cost."""
+        return self.n_processors * self.n_memories
+
+    def bus_loads(self):
+        """Crossbar lines carry one processor and all modules (row lines).
+
+        Reported for completeness; the paper does not tabulate crossbar
+        loads.  Each of the ``N`` row lines sees ``M`` crosspoints.
+        """
+        import numpy as np
+
+        return np.full(self.n_buses, self.n_memories, dtype=int)

@@ -1,0 +1,100 @@
+"""Convenience constructors for the network zoo.
+
+Experiments and examples frequently build "the paper's standard instance"
+of each scheme for a given ``(N, M, B)``; this module centralizes those
+defaults so they stay consistent across analytics, simulation and
+benchmarks:
+
+* single connection: balanced ``M/B`` modules per bus (Section IV),
+* partial: ``g = 2`` groups (the configuration of Table V),
+* K classes: ``K = B`` equal classes of ``M/K`` modules (Table VI).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.topology.crossbar import CrossbarNetwork
+from repro.topology.full import FullBusMemoryNetwork
+from repro.topology.kclass import KClassPartialBusNetwork
+from repro.topology.network import MultipleBusNetwork
+from repro.topology.partial import PartialBusNetwork
+from repro.topology.single import SingleBusMemoryNetwork
+
+__all__ = ["build_network", "equal_class_sizes", "paper_figure_networks"]
+
+
+def equal_class_sizes(n_memories: int, n_classes: int) -> list[int]:
+    """Split ``M`` modules into ``K`` classes as evenly as possible.
+
+    When ``K`` divides ``M`` this is the paper's Table VI configuration;
+    otherwise remainders go to the *higher* classes (better-connected),
+    following the paper's principle that hot modules deserve more buses.
+    """
+    if n_classes < 1:
+        raise ConfigurationError(f"need at least one class, got {n_classes}")
+    base, extra = divmod(n_memories, n_classes)
+    # Higher classes (larger j) receive the remainder.
+    return [
+        base + (1 if j >= n_classes - extra else 0) for j in range(n_classes)
+    ]
+
+
+def build_network(
+    scheme: str,
+    n_processors: int,
+    n_memories: int,
+    n_buses: int,
+    **kwargs,
+) -> MultipleBusNetwork:
+    """Build a network by scheme name with the paper's default parameters.
+
+    Parameters
+    ----------
+    scheme:
+        ``"full"``, ``"single"``, ``"partial"``, ``"kclass"`` or
+        ``"crossbar"``.
+    kwargs:
+        Scheme-specific overrides: ``bus_of_module`` (single),
+        ``n_groups`` (partial, default 2), ``class_sizes`` and
+        ``class_of_module`` (kclass, default ``K = B`` equal classes).
+    """
+    if scheme == "full":
+        return FullBusMemoryNetwork(n_processors, n_memories, n_buses, **kwargs)
+    if scheme == "single":
+        return SingleBusMemoryNetwork(n_processors, n_memories, n_buses, **kwargs)
+    if scheme == "partial":
+        kwargs.setdefault("n_groups", 2)
+        return PartialBusNetwork(n_processors, n_memories, n_buses, **kwargs)
+    if scheme == "kclass":
+        if "class_sizes" not in kwargs:
+            kwargs["class_sizes"] = equal_class_sizes(n_memories, n_buses)
+        return KClassPartialBusNetwork(
+            n_processors, n_memories, n_buses, **kwargs
+        )
+    if scheme == "crossbar":
+        if kwargs:
+            raise ConfigurationError(
+                f"crossbar takes no extra parameters, got {sorted(kwargs)}"
+            )
+        return CrossbarNetwork(n_processors, n_memories)
+    raise ConfigurationError(
+        f"unknown scheme {scheme!r}; expected full/single/partial/"
+        "kclass/crossbar"
+    )
+
+
+def paper_figure_networks() -> dict[str, MultipleBusNetwork]:
+    """Return the four concrete topologies drawn in the paper's figures.
+
+    Figures 1, 2 and 4 are generic ``N x M x B`` sketches — we instantiate
+    them at ``8 x 8 x 4``; Figure 3 is the concrete ``3 x 6 x 4`` partial
+    bus network with three classes.
+    """
+    return {
+        "fig1_full": FullBusMemoryNetwork(8, 8, 4),
+        "fig2_partial_g2": PartialBusNetwork(8, 8, 4, n_groups=2),
+        "fig3_kclass_3x6x4": KClassPartialBusNetwork(
+            3, 6, 4, class_sizes=[2, 2, 2]
+        ),
+        "fig4_single": SingleBusMemoryNetwork(8, 8, 4),
+    }

@@ -1,0 +1,23 @@
+"""Multiple bus network with full bus-memory connection (Fig. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.network import MultipleBusNetwork
+
+__all__ = ["FullBusMemoryNetwork"]
+
+
+class FullBusMemoryNetwork(MultipleBusNetwork):
+    """Every processor and every memory module attaches to all ``B`` buses.
+
+    The most expensive and most fault-tolerant scheme: ``B (N + M)``
+    connections, per-bus load ``N + M``, and degree of fault tolerance
+    ``B - 1`` (a single surviving bus keeps every module reachable).
+    """
+
+    scheme = "full"
+
+    def memory_bus_matrix(self) -> np.ndarray:
+        return np.ones((self.n_memories, self.n_buses), dtype=bool)

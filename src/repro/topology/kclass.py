@@ -1,0 +1,152 @@
+"""Partial bus networks with K classes — the paper's proposal (Fig. 3)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.network import MultipleBusNetwork
+
+__all__ = ["KClassPartialBusNetwork"]
+
+
+class KClassPartialBusNetwork(MultipleBusNetwork):
+    """Memory modules form ``K`` classes with graded bus connectivity.
+
+    Class ``C_j`` (1-based, ``1 <= j <= K <= B``) attaches to the first
+    ``j + B - K`` buses: the top class ``C_K`` reaches all ``B`` buses, the
+    bottom class ``C_1`` only ``B - K + 1``.  The paper's two placement
+    principles: modules needing more fault tolerance, or referenced more
+    frequently, go into higher classes.
+
+    Cost is ``B N + sum_j M_j (j + B - K)`` connections; the degree of
+    fault tolerance is ``B - K`` network-wide, but accesses to class
+    ``C_j`` tolerate ``j + B - K - 1`` bus failures.
+
+    Parameters
+    ----------
+    class_sizes:
+        ``(M_1, ..., M_K)`` modules per class; must sum to ``M``.
+    class_of_module:
+        Optional explicit 1-based class of each module.  Defaults to
+        contiguous blocks: the first ``M_1`` modules form ``C_1``, etc.
+    """
+
+    scheme = "kclass"
+
+    def __init__(
+        self,
+        n_processors: int,
+        n_memories: int,
+        n_buses: int,
+        class_sizes: Sequence[int],
+        class_of_module: Sequence[int] | None = None,
+    ):
+        super().__init__(n_processors, n_memories, n_buses)
+        sizes = [int(s) for s in class_sizes]
+        if not sizes:
+            raise ConfigurationError("need at least one class")
+        if len(sizes) > n_buses:
+            raise ConfigurationError(
+                f"K={len(sizes)} classes require K <= B={n_buses}"
+            )
+        if any(s < 0 for s in sizes):
+            raise ConfigurationError(f"class sizes must be non-negative: {sizes}")
+        if sum(sizes) != n_memories:
+            raise ConfigurationError(
+                f"class sizes {sizes} sum to {sum(sizes)}, expected M={n_memories}"
+            )
+        self._class_sizes = sizes
+        self._n_classes = len(sizes)
+
+        if class_of_module is None:
+            assignment: list[int] = []
+            for j, size in enumerate(sizes, start=1):
+                assignment.extend([j] * size)
+            class_of_module = assignment
+        class_of_module = [int(c) for c in class_of_module]
+        if len(class_of_module) != n_memories:
+            raise ConfigurationError(
+                f"need one class per module: got {len(class_of_module)} "
+                f"for {n_memories} modules"
+            )
+        observed = [0] * (self._n_classes + 1)
+        for j, cls in enumerate(class_of_module):
+            if not 1 <= cls <= self._n_classes:
+                raise ConfigurationError(
+                    f"module {j} assigned to invalid class {cls} "
+                    f"(valid: 1..{self._n_classes})"
+                )
+            observed[cls] += 1
+        if observed[1:] != sizes:
+            raise ConfigurationError(
+                f"class assignment counts {observed[1:]} disagree with "
+                f"declared class sizes {sizes}"
+            )
+        self._class_of_module = class_of_module
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes ``K``."""
+        return self._n_classes
+
+    @property
+    def class_sizes(self) -> list[int]:
+        """Modules per class ``(M_1, ..., M_K)``."""
+        return list(self._class_sizes)
+
+    @property
+    def class_of_module(self) -> list[int]:
+        """1-based class of each module."""
+        return list(self._class_of_module)
+
+    def buses_of_class(self, class_index: int) -> list[int]:
+        """Return the 0-based bus indices class ``C_j`` attaches to.
+
+        Class ``C_j`` connects to paper buses ``1 .. j + B - K``, i.e.
+        0-based indices ``0 .. j + B - K - 1``.
+        """
+        if not 1 <= class_index <= self._n_classes:
+            raise ConfigurationError(
+                f"class index {class_index} out of range 1..{self._n_classes}"
+            )
+        width = class_index + self.n_buses - self._n_classes
+        return list(range(width))
+
+    def modules_of_class(self, class_index: int) -> list[int]:
+        """Return the module indices belonging to class ``C_j``."""
+        if not 1 <= class_index <= self._n_classes:
+            raise ConfigurationError(
+                f"class index {class_index} out of range 1..{self._n_classes}"
+            )
+        return [
+            j for j, cls in enumerate(self._class_of_module) if cls == class_index
+        ]
+
+    def classes_on_bus(self, bus: int) -> list[int]:
+        """Return the class indices attached to 0-based bus ``bus``.
+
+        Paper: bus ``i`` (1-based) serves classes
+        ``C_max(i + K - B, 1) .. C_K``.
+        """
+        self._check_bus(bus)
+        lowest = max(bus + 1 + self._n_classes - self.n_buses, 1)
+        return list(range(lowest, self._n_classes + 1))
+
+    def memory_bus_matrix(self) -> np.ndarray:
+        mbm = np.zeros((self.n_memories, self.n_buses), dtype=bool)
+        for module, cls in enumerate(self._class_of_module):
+            width = cls + self.n_buses - self._n_classes
+            mbm[module, :width] = True
+        return mbm
+
+    def degree_of_fault_tolerance(self) -> int:
+        """Network-wide degree ``B - K`` (class ``C_1`` is the bottleneck).
+
+        Classes with no members do not constrain the degree, so the
+        structural computation of the base class is used, which also
+        handles degraded/uneven assignments.
+        """
+        return super().degree_of_fault_tolerance()

@@ -1,0 +1,212 @@
+"""Base class for multiple bus network topologies (Section II-A).
+
+A topology is fully described by two boolean connection matrices:
+
+* ``processor_bus_matrix`` — ``N x B``; in every scheme the paper studies,
+  all processors attach to all buses, but the matrix is kept explicit so
+  fault injection can remove attachments uniformly.
+* ``memory_bus_matrix`` — ``M x B``; this is what distinguishes the full /
+  single / partial / K-class schemes.
+
+Everything downstream — the closed-form analysis dispatch, the cost model
+of Table I, the Monte-Carlo simulator and the fault injector — consumes
+these matrices, so the topology object is the single source of structural
+truth.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MultipleBusNetwork"]
+
+
+class MultipleBusNetwork(abc.ABC):
+    """Abstract ``N x M x B`` multiple bus interconnection network.
+
+    Parameters
+    ----------
+    n_processors:
+        Number of processors ``N``.
+    n_memories:
+        Number of shared memory modules ``M``.
+    n_buses:
+        Number of buses ``B``.  The paper's introduction states
+        ``B <= min(M, N)``, but its own Fig. 3 example (a 3 x 6 x 4
+        network) has ``B > N``; we therefore only enforce ``B <= M``
+        (extra buses beyond the module count can never carry a transfer).
+    """
+
+    #: Human-readable scheme name, overridden by subclasses.
+    scheme = "abstract"
+
+    def __init__(self, n_processors: int, n_memories: int, n_buses: int):
+        if n_processors < 1:
+            raise ConfigurationError(
+                f"need at least one processor, got {n_processors}"
+            )
+        if n_memories < 1:
+            raise ConfigurationError(
+                f"need at least one memory module, got {n_memories}"
+            )
+        if n_buses < 1:
+            raise ConfigurationError(f"need at least one bus, got {n_buses}")
+        if n_buses > n_memories:
+            raise ConfigurationError(
+                f"B={n_buses} exceeds M={n_memories}; buses beyond the "
+                "module count can never carry a transfer"
+            )
+        self._n_processors = int(n_processors)
+        self._n_memories = int(n_memories)
+        self._n_buses = int(n_buses)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def n_processors(self) -> int:
+        """Number of processors ``N``."""
+        return self._n_processors
+
+    @property
+    def n_memories(self) -> int:
+        """Number of memory modules ``M``."""
+        return self._n_memories
+
+    @property
+    def n_buses(self) -> int:
+        """Number of buses ``B``."""
+        return self._n_buses
+
+    def processor_bus_matrix(self) -> np.ndarray:
+        """Return the ``N x B`` boolean processor-to-bus attachment matrix.
+
+        All schemes in the paper attach every processor to every bus.
+        """
+        return np.ones((self._n_processors, self._n_buses), dtype=bool)
+
+    @abc.abstractmethod
+    def memory_bus_matrix(self) -> np.ndarray:
+        """Return the ``M x B`` boolean module-to-bus attachment matrix."""
+
+    def buses_for_memory(self, module: int) -> np.ndarray:
+        """Return the (sorted) bus indices module ``module`` attaches to."""
+        self._check_module(module)
+        return np.flatnonzero(self.memory_bus_matrix()[module])
+
+    def memories_on_bus(self, bus: int) -> np.ndarray:
+        """Return the (sorted) module indices attached to bus ``bus``."""
+        self._check_bus(bus)
+        return np.flatnonzero(self.memory_bus_matrix()[:, bus])
+
+    def _check_module(self, module: int) -> None:
+        if not 0 <= module < self._n_memories:
+            raise ConfigurationError(
+                f"module index {module} out of range [0, {self._n_memories})"
+            )
+
+    def _check_bus(self, bus: int) -> None:
+        if not 0 <= bus < self._n_buses:
+            raise ConfigurationError(
+                f"bus index {bus} out of range [0, {self._n_buses})"
+            )
+
+    # ------------------------------------------------------------------
+    # Cost metrics (Table I)
+    # ------------------------------------------------------------------
+
+    def connection_count(self) -> int:
+        """Total number of physical connections (Table I, column 2)."""
+        return int(
+            self.processor_bus_matrix().sum() + self.memory_bus_matrix().sum()
+        )
+
+    def bus_loads(self) -> np.ndarray:
+        """Per-bus load: attachments on each bus (Table I, column 3).
+
+        The paper takes the capacitive load of a bus as proportional to the
+        number of devices connected to it.
+        """
+        return (
+            self.processor_bus_matrix().sum(axis=0)
+            + self.memory_bus_matrix().sum(axis=0)
+        ).astype(int)
+
+    def degree_of_fault_tolerance(self) -> int:
+        """Maximum bus failures with all modules still reachable.
+
+        Table I's rightmost column.  Computed structurally from the
+        connection matrix: a module with ``c`` bus attachments survives
+        ``c - 1`` failures in the worst case, so the network-wide degree is
+        ``min_j (attachments of module j) - 1``.
+        """
+        per_module = self.memory_bus_matrix().sum(axis=1)
+        return int(per_module.min()) - 1
+
+    def accessible_memories(self, failed_buses: set[int] | None = None) -> np.ndarray:
+        """Return boolean mask of modules reachable given failed buses."""
+        failed = set() if failed_buses is None else set(failed_buses)
+        for bus in failed:
+            self._check_bus(bus)
+        alive = np.ones(self._n_buses, dtype=bool)
+        for bus in failed:
+            alive[bus] = False
+        return self.memory_bus_matrix()[:, alive].any(axis=1)
+
+    # ------------------------------------------------------------------
+    # Validation & rendering
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants shared by all schemes.
+
+        Every module must attach to at least one bus and matrix shapes must
+        match the declared dimensions.
+        """
+        pbm = self.processor_bus_matrix()
+        mbm = self.memory_bus_matrix()
+        if pbm.shape != (self._n_processors, self._n_buses):
+            raise ConfigurationError(
+                f"processor-bus matrix shape {pbm.shape} != "
+                f"{(self._n_processors, self._n_buses)}"
+            )
+        if mbm.shape != (self._n_memories, self._n_buses):
+            raise ConfigurationError(
+                f"memory-bus matrix shape {mbm.shape} != "
+                f"{(self._n_memories, self._n_buses)}"
+            )
+        if not mbm.any(axis=1).all():
+            orphan = int(np.flatnonzero(~mbm.any(axis=1))[0])
+            raise ConfigurationError(
+                f"module {orphan} is not attached to any bus"
+            )
+
+    def connection_diagram(self) -> str:
+        """Render the module-bus attachment pattern as ASCII art.
+
+        Rows are buses (top = bus ``B``, matching the paper's figures),
+        columns are memory modules; ``#`` marks an attachment.  Used by the
+        figure-reproduction experiment (E7).
+        """
+        mbm = self.memory_bus_matrix()
+        lines = [
+            f"{type(self).__name__}: N={self._n_processors} "
+            f"M={self._n_memories} B={self._n_buses}"
+        ]
+        header = "        " + " ".join(f"M{j:<2d}" for j in range(self._n_memories))
+        lines.append(header)
+        for bus in range(self._n_buses - 1, -1, -1):
+            row = " ".join(" # " if mbm[j, bus] else " . " for j in range(self._n_memories))
+            lines.append(f"bus {bus:<3d} {row}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_processors={self._n_processors}, "
+            f"n_memories={self._n_memories}, n_buses={self._n_buses})"
+        )

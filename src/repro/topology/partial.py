@@ -1,0 +1,70 @@
+"""Partial bus networks with ``g`` groups, after Lang et al. [9] (Fig. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.network import MultipleBusNetwork
+
+__all__ = ["PartialBusNetwork"]
+
+
+class PartialBusNetwork(MultipleBusNetwork):
+    """Modules and buses split into ``g`` equal groups.
+
+    Group ``q`` holds modules ``q*M/g .. (q+1)*M/g - 1`` and buses
+    ``q*B/g .. (q+1)*B/g - 1``; each module attaches to every bus of its
+    own group.  Cost is ``B (N + M/g)`` connections with per-bus load
+    ``N + M/g``; the degree of fault tolerance is ``B/g - 1``.
+    """
+
+    scheme = "partial"
+
+    def __init__(
+        self, n_processors: int, n_memories: int, n_buses: int, n_groups: int
+    ):
+        super().__init__(n_processors, n_memories, n_buses)
+        if n_groups < 1:
+            raise ConfigurationError(f"need at least one group, got {n_groups}")
+        if n_memories % n_groups:
+            raise ConfigurationError(
+                f"g={n_groups} must divide the module count M={n_memories}"
+            )
+        if n_buses % n_groups:
+            raise ConfigurationError(
+                f"g={n_groups} must divide the bus count B={n_buses}"
+            )
+        self._n_groups = int(n_groups)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of groups ``g``."""
+        return self._n_groups
+
+    @property
+    def modules_per_group(self) -> int:
+        """Modules in each group, ``M / g``."""
+        return self.n_memories // self._n_groups
+
+    @property
+    def buses_per_group(self) -> int:
+        """Buses in each group, ``B / g``."""
+        return self.n_buses // self._n_groups
+
+    def group_of_module(self, module: int) -> int:
+        """Return the group index of a module."""
+        self._check_module(module)
+        return module // self.modules_per_group
+
+    def group_of_bus(self, bus: int) -> int:
+        """Return the group index of a bus."""
+        self._check_bus(bus)
+        return bus // self.buses_per_group
+
+    def memory_bus_matrix(self) -> np.ndarray:
+        mbm = np.zeros((self.n_memories, self.n_buses), dtype=bool)
+        mg, bg = self.modules_per_group, self.buses_per_group
+        for group in range(self._n_groups):
+            mbm[group * mg : (group + 1) * mg, group * bg : (group + 1) * bg] = True
+        return mbm

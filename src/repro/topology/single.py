@@ -1,0 +1,77 @@
+"""Multiple bus network with single bus-memory connection (Fig. 4)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.network import MultipleBusNetwork
+
+__all__ = ["SingleBusMemoryNetwork"]
+
+
+class SingleBusMemoryNetwork(MultipleBusNetwork):
+    """Each memory module attaches to exactly one bus.
+
+    The cheapest scheme (``B N + M`` connections) but with zero degree of
+    fault tolerance: losing bus ``i`` makes its ``M_i`` modules
+    unreachable.
+
+    Parameters
+    ----------
+    bus_of_module:
+        Optional explicit assignment: element ``j`` is the bus module ``j``
+        attaches to.  Defaults to the paper's balanced layout — ``M / B``
+        consecutive modules per bus (Section IV evaluates exactly this
+        "N memory modules distributed over the B buses" case).
+    """
+
+    scheme = "single"
+
+    def __init__(
+        self,
+        n_processors: int,
+        n_memories: int,
+        n_buses: int,
+        bus_of_module: Sequence[int] | None = None,
+    ):
+        super().__init__(n_processors, n_memories, n_buses)
+        if bus_of_module is None:
+            # Balanced contiguous blocks; remainders spread over the first
+            # buses so counts differ by at most one.
+            base, extra = divmod(n_memories, n_buses)
+            assignment: list[int] = []
+            for bus in range(n_buses):
+                assignment.extend([bus] * (base + (1 if bus < extra else 0)))
+            bus_of_module = assignment
+        bus_of_module = [int(b) for b in bus_of_module]
+        if len(bus_of_module) != n_memories:
+            raise ConfigurationError(
+                f"need one bus per module: got {len(bus_of_module)} "
+                f"assignments for {n_memories} modules"
+            )
+        for j, bus in enumerate(bus_of_module):
+            if not 0 <= bus < n_buses:
+                raise ConfigurationError(
+                    f"module {j} assigned to nonexistent bus {bus}"
+                )
+        self._bus_of_module = bus_of_module
+
+    @property
+    def bus_of_module(self) -> list[int]:
+        """Bus index each module attaches to."""
+        return list(self._bus_of_module)
+
+    def modules_per_bus(self) -> list[int]:
+        """Return ``(M_1, ..., M_B)``: module count wired to each bus."""
+        counts = [0] * self.n_buses
+        for bus in self._bus_of_module:
+            counts[bus] += 1
+        return counts
+
+    def memory_bus_matrix(self) -> np.ndarray:
+        mbm = np.zeros((self.n_memories, self.n_buses), dtype=bool)
+        mbm[np.arange(self.n_memories), self._bus_of_module] = True
+        return mbm

@@ -1,0 +1,144 @@
+"""Recordable, replayable request traces.
+
+The paper's model is synthetic, but a production library needs to accept
+*observed* reference streams: record a trace from any generator, persist
+it, replay it into the simulator, and estimate an empirical request model
+from it (closing the loop back to the closed-form analysis).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.request_models import MatrixRequestModel
+from repro.exceptions import SimulationError
+from repro.workloads.generator import FixedRequestGenerator, RequestGenerator
+
+__all__ = ["RequestTrace", "record_trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestTrace:
+    """An immutable sequence of per-cycle request lists.
+
+    Attributes
+    ----------
+    n_processors / n_memories:
+        Dimensions of the machine the trace was recorded on.
+    cycles:
+        Tuple of cycles; each cycle is a tuple of ``(processor, module)``
+        request pairs.
+    """
+
+    n_processors: int
+    n_memories: int
+    cycles: tuple[tuple[tuple[int, int], ...], ...]
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def total_requests(self) -> int:
+        """Total number of requests across every cycle."""
+        return sum(len(cycle) for cycle in self.cycles)
+
+    def observed_rate(self) -> float:
+        """Empirical per-processor request rate ``r``."""
+        if not self.cycles:
+            return 0.0
+        return self.total_requests / (len(self.cycles) * self.n_processors)
+
+    def reference_counts(self) -> np.ndarray:
+        """Return the ``N x M`` matrix of observed request counts."""
+        counts = np.zeros((self.n_processors, self.n_memories), dtype=np.int64)
+        for cycle in self.cycles:
+            for processor, module in cycle:
+                counts[processor, module] += 1
+        return counts
+
+    def empirical_model(self) -> MatrixRequestModel:
+        """Fit a :class:`MatrixRequestModel` to the observed fractions.
+
+        Processors that never issued a request get a uniform row (no
+        evidence either way).  The fitted model feeds the closed-form
+        analysis, letting users analyze measured workloads with the
+        paper's formulas.
+        """
+        counts = self.reference_counts().astype(float)
+        totals = counts.sum(axis=1, keepdims=True)
+        uniform = np.full(self.n_memories, 1.0 / self.n_memories)
+        fractions = np.where(totals > 0, counts / np.maximum(totals, 1.0), uniform)
+        return MatrixRequestModel(fractions, rate=self.observed_rate())
+
+    def generator(self) -> FixedRequestGenerator:
+        """Return a generator replaying this trace (cycling at the end)."""
+        return FixedRequestGenerator(
+            [list(cycle) for cycle in self.cycles],
+            self.n_processors,
+            self.n_memories,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (JSON lines: one cycle per line)
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON-lines: a header line, then cycles."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            header = {
+                "n_processors": self.n_processors,
+                "n_memories": self.n_memories,
+                "n_cycles": len(self.cycles),
+            }
+            fh.write(json.dumps(header) + "\n")
+            for cycle in self.cycles:
+                fh.write(json.dumps([list(pair) for pair in cycle]) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RequestTrace":
+        """Read a trace written by :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        if not lines:
+            raise SimulationError(f"trace file {path} is empty")
+        header = json.loads(lines[0])
+        cycles = tuple(
+            tuple((int(p), int(m)) for p, m in json.loads(line))
+            for line in lines[1:]
+        )
+        if len(cycles) != header.get("n_cycles", len(cycles)):
+            raise SimulationError(
+                f"trace file {path} declares {header['n_cycles']} cycles "
+                f"but contains {len(cycles)}"
+            )
+        return cls(
+            n_processors=int(header["n_processors"]),
+            n_memories=int(header["n_memories"]),
+            cycles=cycles,
+        )
+
+
+def record_trace(
+    generator: RequestGenerator,
+    n_cycles: int,
+    rng: np.random.Generator | int | None = None,
+) -> RequestTrace:
+    """Record ``n_cycles`` of a generator's output into a trace."""
+    if n_cycles < 1:
+        raise SimulationError(f"need at least one cycle, got {n_cycles}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    cycles = tuple(
+        tuple(cycle) for cycle in generator.cycles(n_cycles, rng)
+    )
+    return RequestTrace(
+        n_processors=generator.n_processors,
+        n_memories=generator.n_memories,
+        cycles=cycles,
+    )

@@ -1,0 +1,121 @@
+"""Tests for sweeps, cross-scheme comparison and table rendering."""
+
+import pytest
+
+from repro.analysis.compare import compare_schemes
+from repro.analysis.sweep import (
+    bandwidth_sweep,
+    bus_count_sweep,
+    paper_model_pair,
+)
+from repro.analysis.tables import render_matrix, render_table
+from repro.core.request_models import UniformRequestModel
+
+
+class TestPaperModelPair:
+    def test_contains_both_models(self):
+        models = paper_model_pair(8, 1.0)
+        assert set(models) == {"hier", "unif"}
+        assert models["hier"].rate == 1.0
+        assert models["unif"].n_memories == 8
+
+
+class TestBandwidthSweep:
+    def test_grid_shape(self):
+        records = bandwidth_sweep("full", 8, bus_counts=(1, 2, 4), rates=(1.0,))
+        assert len(records) == 6  # 3 bus counts x 2 models
+
+    def test_record_fields(self):
+        record = bandwidth_sweep("full", 8, (2,), (0.5,))[0]
+        assert set(record) == {"scheme", "N", "M", "B", "r", "model", "bandwidth"}
+
+    def test_skips_invalid_configurations(self):
+        # Partial g=2 cannot build B=3.
+        records = bandwidth_sweep(
+            "partial", 8, bus_counts=(2, 3, 4), rates=(1.0,)
+        )
+        assert {r["B"] for r in records} == {2, 4}
+
+    def test_hier_beats_unif_in_records(self):
+        records = bandwidth_sweep("full", 8, (4,), (1.0,))
+        by_model = {r["model"]: r["bandwidth"] for r in records}
+        assert by_model["hier"] >= by_model["unif"]
+
+
+class TestBusCountSweep:
+    def test_defaults_to_full_range(self):
+        out = bus_count_sweep("full", 8, UniformRequestModel(8, 8))
+        assert sorted(out) == list(range(1, 9))
+
+    def test_monotone_in_buses(self):
+        out = bus_count_sweep("full", 8, UniformRequestModel(8, 8))
+        values = [out[b] for b in sorted(out)]
+        assert values == sorted(values)
+
+    def test_explicit_bus_counts(self):
+        out = bus_count_sweep(
+            "single", 8, UniformRequestModel(8, 8), bus_counts=(2, 4)
+        )
+        assert sorted(out) == [2, 4]
+
+
+class TestCompareSchemes:
+    def test_sorted_by_bandwidth(self):
+        rows = compare_schemes(16, 8, UniformRequestModel(16, 16))
+        bandwidths = [row.bandwidth for row in rows]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_contains_expected_schemes(self):
+        rows = compare_schemes(16, 8, UniformRequestModel(16, 16))
+        assert {row.scheme for row in rows} == {
+            "full", "partial", "kclass", "single", "crossbar"
+        }
+
+    def test_ordering_matches_paper(self):
+        rows = {
+            row.scheme: row
+            for row in compare_schemes(16, 8, UniformRequestModel(16, 16))
+        }
+        assert rows["full"].bandwidth >= rows["partial"].bandwidth
+        assert rows["partial"].bandwidth >= rows["single"].bandwidth
+        assert rows["single"].bandwidth_per_connection >= (
+            rows["full"].bandwidth_per_connection
+        )
+
+    def test_skips_impossible_schemes(self):
+        # B = 3 is odd: partial g=2 drops out.
+        rows = compare_schemes(9, 3, UniformRequestModel(9, 9))
+        assert "partial" not in {row.scheme for row in rows}
+
+    def test_as_row(self):
+        row = compare_schemes(8, 4, UniformRequestModel(8, 8))[0].as_row()
+        assert "MBW" in row and "MBW/conn" in row
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = render_table(
+            [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.50" in text and "0.12" in text  # two-decimal floats
+
+    def test_render_table_missing_keys_blank(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert text.count("2") >= 1
+
+    def test_render_table_infers_columns(self):
+        text = render_table([{"x": 1}, {"y": 2}])
+        assert "x" in text and "y" in text
+
+    def test_render_matrix_layout(self):
+        text = render_matrix(
+            [1, 2],
+            ["c1", "c2"],
+            {(1, "c1"): 0.5, (2, "c2"): 1.5},
+            corner="B",
+        )
+        assert "B" in text
+        assert "0.50" in text and "1.50" in text

@@ -1,0 +1,72 @@
+"""Tests for stage-one memory arbitration."""
+
+import numpy as np
+import pytest
+
+from repro.arbitration.memory_arbiter import (
+    MemoryArbiter,
+    resolve_memory_contention,
+)
+from repro.exceptions import SimulationError
+
+
+class TestMemoryArbiter:
+    def test_no_requesters_returns_none(self, rng):
+        assert MemoryArbiter(0).select([], rng) is None
+
+    def test_single_requester_wins(self, rng):
+        assert MemoryArbiter(0).select([7], rng) == 7
+
+    def test_winner_is_among_requesters(self, rng):
+        arbiter = MemoryArbiter(3)
+        for _ in range(50):
+            assert arbiter.select([2, 5, 9], rng) in (2, 5, 9)
+
+    def test_selection_is_roughly_uniform(self, rng):
+        arbiter = MemoryArbiter(0)
+        counts = {1: 0, 2: 0, 3: 0}
+        trials = 6000
+        for _ in range(trials):
+            counts[arbiter.select([1, 2, 3], rng)] += 1
+        for winner in counts.values():
+            assert winner / trials == pytest.approx(1 / 3, abs=0.05)
+
+    def test_rejects_negative_module(self):
+        with pytest.raises(SimulationError):
+            MemoryArbiter(-1)
+
+    def test_repr(self):
+        assert "module=4" in repr(MemoryArbiter(4))
+
+
+class TestResolveMemoryContention:
+    def test_one_winner_per_requested_module(self, rng):
+        requests = [(0, 2), (1, 2), (2, 5), (3, 5), (4, 1)]
+        winners = resolve_memory_contention(requests, 8, rng)
+        assert set(winners) == {1, 2, 5}
+        assert winners[2] in (0, 1)
+        assert winners[5] in (2, 3)
+        assert winners[1] == 4
+
+    def test_empty_cycle(self, rng):
+        assert resolve_memory_contention([], 4, rng) == {}
+
+    def test_rejects_out_of_range_module(self, rng):
+        with pytest.raises(SimulationError, match="outside"):
+            resolve_memory_contention([(0, 9)], 4, rng)
+
+    def test_all_processors_same_module(self, rng):
+        winners = resolve_memory_contention(
+            [(p, 0) for p in range(10)], 4, rng
+        )
+        assert set(winners) == {0}
+        assert 0 <= winners[0] < 10
+
+    def test_winner_distribution_uniform(self, rng):
+        tallies = np.zeros(4)
+        for _ in range(4000):
+            winners = resolve_memory_contention(
+                [(p, 0) for p in range(4)], 2, rng
+            )
+            tallies[winners[0]] += 1
+        assert np.allclose(tallies / tallies.sum(), 0.25, atol=0.03)

@@ -1,0 +1,116 @@
+"""Shared fixtures and brute-force reference implementations.
+
+The reference helpers here recompute the paper's quantities by explicit
+enumeration over all request outcomes — exponential-time but obviously
+correct — so the closed forms and arbiters can be tested against ground
+truth on small machines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.request_models import UniformRequestModel
+from repro.core.hierarchy import paper_two_level_model
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform8() -> UniformRequestModel:
+    """The 8-processor uniform model at r = 1.0."""
+    return UniformRequestModel(8, 8, rate=1.0)
+
+
+@pytest.fixture
+def hier8():
+    """The paper's two-level hierarchical model for N = 8, r = 1.0."""
+    return paper_two_level_model(8, rate=1.0)
+
+
+def enumerate_request_sets(n_modules: int, x: float):
+    """Yield ``(requested_set, probability)`` over all module subsets.
+
+    Modules are requested independently with probability ``x`` — the
+    stochastic regime of eq. (3).
+    """
+    for bits in itertools.product((0, 1), repeat=n_modules):
+        p = 1.0
+        for bit in bits:
+            p *= x if bit else (1.0 - x)
+        yield {j for j, bit in enumerate(bits) if bit}, p
+
+
+def brute_force_full_bandwidth(n_modules: int, n_buses: int, x: float) -> float:
+    """Exact E[min(|requested|, B)] by enumeration."""
+    return sum(
+        p * min(len(req), n_buses)
+        for req, p in enumerate_request_sets(n_modules, x)
+    )
+
+
+def brute_force_kclass_bandwidth(
+    class_sizes: list[int], n_buses: int, x: float
+) -> float:
+    """Exact expected busy buses under the two-step procedure.
+
+    Uses the busy-bus criterion derived in Section III-D: bus ``i``
+    (1-based) is busy unless class ``C_j`` has at most ``j - a`` requests
+    for every ``j >= a = i + K - B``.
+    """
+    k = len(class_sizes)
+    n_modules = sum(class_sizes)
+    class_of = []
+    for j, size in enumerate(class_sizes, start=1):
+        class_of.extend([j] * size)
+    total = 0.0
+    for requested, p in enumerate_request_sets(n_modules, x):
+        counts = [0] * (k + 1)
+        for module in requested:
+            counts[class_of[module]] += 1
+        busy = 0
+        for bus in range(1, n_buses + 1):
+            a = bus + k - n_buses
+            idle = all(
+                counts[j] <= j - a for j in range(max(a, 1), k + 1)
+            )
+            busy += 0 if idle else 1
+        total += p * busy
+    return total
+
+
+def brute_force_matching_bandwidth(
+    memory_bus_matrix: np.ndarray, x: float
+) -> float:
+    """Exact E[max matching size] between requested modules and buses."""
+    import networkx as nx
+
+    m = memory_bus_matrix.shape[0]
+    total = 0.0
+    for requested, p in enumerate_request_sets(m, x):
+        graph = nx.Graph()
+        top = []
+        for module in requested:
+            node = ("m", module)
+            top.append(node)
+            graph.add_node(node)
+            for bus in np.flatnonzero(memory_bus_matrix[module]):
+                graph.add_edge(node, ("b", int(bus)))
+        matching = nx.bipartite.maximum_matching(
+            graph, top_nodes=[n for n in top if graph.degree(n) > 0]
+        )
+        total += p * (len(matching) // 2)
+    return total
+
+
+def binomial_reference(n: int, i: int, p: float) -> float:
+    """Textbook binomial pmf for cross-checking the log-space version."""
+    return math.comb(n, i) * p**i * (1.0 - p) ** (n - i)

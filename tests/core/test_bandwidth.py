@@ -1,0 +1,202 @@
+"""Unit tests for the closed-form bandwidth equations (4), (6), (9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import (
+    bandwidth_crossbar,
+    bandwidth_crossbar_heterogeneous,
+    bandwidth_full,
+    bandwidth_full_heterogeneous,
+    bandwidth_partial,
+    bandwidth_partial_heterogeneous,
+    bandwidth_single,
+    bandwidth_single_heterogeneous,
+    request_count_pmf,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import brute_force_full_bandwidth
+
+UNIFORM8_X = 1.0 - (1.0 - 1.0 / 8) ** 8
+
+
+class TestBandwidthFull:
+    def test_matches_brute_force_enumeration(self):
+        for m, b, x in ((4, 2, 0.3), (5, 3, 0.7), (6, 6, 0.5), (3, 1, 0.9)):
+            assert bandwidth_full(m, b, x) == pytest.approx(
+                brute_force_full_bandwidth(m, b, x), abs=1e-12
+            )
+
+    def test_paper_table2_cells(self):
+        # N=8 uniform r=1.0: B=4 -> 3.87, B=8 -> 5.25 (Table II).
+        assert bandwidth_full(8, 4, UNIFORM8_X) == pytest.approx(3.87, abs=0.005)
+        assert bandwidth_full(8, 8, UNIFORM8_X) == pytest.approx(5.25, abs=0.005)
+
+    def test_b_at_least_m_equals_crossbar(self):
+        x = 0.42
+        assert bandwidth_full(10, 10, x) == pytest.approx(
+            bandwidth_crossbar(10, x)
+        )
+
+    def test_single_bus_equals_busy_probability(self):
+        # B = 1: bandwidth is P(at least one module requested).
+        x = 0.3
+        assert bandwidth_full(5, 1, x) == pytest.approx(1 - (1 - x) ** 5)
+
+    def test_monotone_in_buses(self):
+        values = [bandwidth_full(12, b, 0.6) for b in range(1, 13)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_x(self):
+        values = [bandwidth_full(8, 4, x) for x in np.linspace(0.0, 1.0, 11)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_zero_x(self):
+        assert bandwidth_full(8, 4, 0.0) == 0.0
+
+    def test_x_one_saturates_buses(self):
+        assert bandwidth_full(8, 4, 1.0) == pytest.approx(4.0)
+
+    def test_rejects_bad_buses(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_full(8, 0, 0.5)
+
+    def test_rejects_bad_memories(self):
+        with pytest.raises(ConfigurationError):
+            request_count_pmf(0, 0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            bandwidth_full(8, 4, 1.2)
+
+    @given(
+        m=st.integers(min_value=1, max_value=30),
+        b=st.integers(min_value=1, max_value=30),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_property_bounds(self, m, b, x):
+        value = bandwidth_full(m, b, x)
+        assert -1e-9 <= value <= min(b, m * x) + 1e-9
+
+
+class TestBandwidthFullHeterogeneous:
+    def test_equal_probs_match_homogeneous(self):
+        assert bandwidth_full_heterogeneous([0.4] * 7, 3) == pytest.approx(
+            bandwidth_full(7, 3, 0.4)
+        )
+
+    def test_unequal_probs(self):
+        # Two modules, one bus: E[min(count,1)] = P(any requested).
+        xs = [0.5, 0.2]
+        expected = 1 - 0.5 * 0.8
+        assert bandwidth_full_heterogeneous(xs, 1) == pytest.approx(expected)
+
+    def test_no_contention_is_sum(self):
+        xs = [0.1, 0.9, 0.4]
+        assert bandwidth_full_heterogeneous(xs, 3) == pytest.approx(sum(xs))
+
+
+class TestBandwidthSingle:
+    def test_paper_table4_cell(self):
+        # N=8, B=4, uniform r=1.0 -> 3.53 (Table IV).
+        assert bandwidth_single([2, 2, 2, 2], UNIFORM8_X) == pytest.approx(
+            3.53, abs=0.005
+        )
+
+    def test_one_module_per_bus_equals_crossbar(self):
+        x = 0.37
+        assert bandwidth_single([1] * 9, x) == pytest.approx(
+            bandwidth_crossbar(9, x)
+        )
+
+    def test_empty_bus_contributes_nothing(self):
+        x = 0.5
+        assert bandwidth_single([3, 0], x) == pytest.approx(
+            bandwidth_single([3], x)
+        )
+
+    def test_x_one(self):
+        assert bandwidth_single([4, 4], 1.0) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_single([], 0.5)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_single([2, -1], 0.5)
+
+    def test_heterogeneous_matches_homogeneous(self):
+        x = 0.6
+        hetero = bandwidth_single_heterogeneous([[x, x], [x, x, x]])
+        homo = bandwidth_single([2, 3], x)
+        assert hetero == pytest.approx(homo)
+
+    def test_heterogeneous_empty_bus(self):
+        assert bandwidth_single_heterogeneous([[], [0.5]]) == pytest.approx(0.5)
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=6), min_size=1, max_size=6),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_property_bounded_by_buses(self, counts, x):
+        value = bandwidth_single(counts, x)
+        nonempty = sum(1 for c in counts if c > 0)
+        assert -1e-9 <= value <= nonempty + 1e-9
+
+
+class TestBandwidthPartial:
+    def test_g1_reduces_to_full(self):
+        # Eq. (9) with g = 1 must equal eq. (4).
+        for x in (0.2, 0.65, 0.9):
+            assert bandwidth_partial(12, 6, 1, x) == pytest.approx(
+                bandwidth_full(12, 6, x)
+            )
+
+    def test_paper_table5_cell(self):
+        # N=8, B=4, g=2, uniform r=1.0 -> 3.73.
+        assert bandwidth_partial(8, 4, 2, UNIFORM8_X) == pytest.approx(
+            3.73, abs=0.005
+        )
+
+    def test_g_equal_b_is_single_like(self):
+        # g = B: each group has one bus and M/B modules -> eq. (6) layout.
+        x = 0.55
+        assert bandwidth_partial(8, 4, 4, x) == pytest.approx(
+            bandwidth_single([2, 2, 2, 2], x)
+        )
+
+    def test_partitioning_reduces_bandwidth(self):
+        x = 0.7
+        assert bandwidth_partial(16, 8, 2, x) <= bandwidth_full(16, 8, x) + 1e-12
+
+    def test_rejects_nondividing_groups(self):
+        with pytest.raises(ConfigurationError, match="divide"):
+            bandwidth_partial(8, 4, 3, 0.5)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_partial(8, 4, 0, 0.5)
+
+    def test_heterogeneous_matches_homogeneous(self):
+        x = 0.45
+        hetero = bandwidth_partial_heterogeneous([[x] * 4, [x] * 4], 2)
+        assert hetero == pytest.approx(bandwidth_partial(8, 4, 2, x))
+
+
+class TestBandwidthCrossbar:
+    def test_is_m_times_x(self):
+        assert bandwidth_crossbar(12, 0.4) == pytest.approx(4.8)
+
+    def test_heterogeneous_sums(self):
+        assert bandwidth_crossbar_heterogeneous([0.1, 0.2, 0.3]) == (
+            pytest.approx(0.6)
+        )
+
+    def test_rejects_bad_memories(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_crossbar(0, 0.5)

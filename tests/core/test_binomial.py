@@ -1,0 +1,177 @@
+"""Unit and property tests for repro.core.binomial."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binomial import (
+    binomial_pmf,
+    cdf_from_pmf,
+    expected_capped,
+    poisson_binomial_pmf,
+    tail_excess,
+    validate_probability,
+)
+from tests.conftest import binomial_reference
+
+
+class TestValidateProbability:
+    def test_accepts_interior_value(self):
+        assert validate_probability(0.3) == 0.3
+
+    def test_accepts_bounds(self):
+        assert validate_probability(0.0) == 0.0
+        assert validate_probability(1.0) == 1.0
+
+    def test_clamps_tiny_negative(self):
+        assert validate_probability(-1e-12) == 0.0
+
+    def test_clamps_tiny_excess(self):
+        assert validate_probability(1.0 + 1e-12) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="probability"):
+            validate_probability(-0.2)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError, match="probability"):
+            validate_probability(1.5)
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValueError, match="X_j"):
+            validate_probability(2.0, "X_j")
+
+
+class TestBinomialPmf:
+    def test_matches_textbook_small(self):
+        pmf = binomial_pmf(5, 0.3)
+        for i in range(6):
+            assert pmf[i] == pytest.approx(binomial_reference(5, i, 0.3))
+
+    def test_length(self):
+        assert len(binomial_pmf(7, 0.4)) == 8
+
+    def test_sums_to_one(self):
+        assert binomial_pmf(20, 0.13).sum() == pytest.approx(1.0)
+
+    def test_degenerate_p_zero(self):
+        pmf = binomial_pmf(4, 0.0)
+        assert pmf[0] == 1.0
+        assert pmf[1:].sum() == 0.0
+
+    def test_degenerate_p_one(self):
+        pmf = binomial_pmf(4, 1.0)
+        assert pmf[4] == 1.0
+        assert pmf[:4].sum() == 0.0
+
+    def test_n_zero(self):
+        assert binomial_pmf(0, 0.5).tolist() == [1.0]
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            binomial_pmf(-1, 0.5)
+
+    def test_large_n_stable(self):
+        pmf = binomial_pmf(5000, 0.001)
+        assert np.all(np.isfinite(pmf))
+        assert pmf.sum() == pytest.approx(1.0)
+        # Mean of the distribution must match n*p.
+        mean = float(np.arange(5001) @ pmf)
+        assert mean == pytest.approx(5.0, rel=1e-9)
+
+    def test_extreme_p_stable(self):
+        pmf = binomial_pmf(1000, 0.999)
+        assert np.all(np.isfinite(pmf))
+        assert float(np.arange(1001) @ pmf) == pytest.approx(999.0, rel=1e-9)
+
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_property_valid_distribution(self, n, p):
+        pmf = binomial_pmf(n, p)
+        assert np.all(pmf >= 0.0)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40)
+    def test_property_mean_is_np(self, n, p):
+        pmf = binomial_pmf(n, p)
+        mean = float(np.arange(n + 1) @ pmf)
+        assert mean == pytest.approx(n * p, rel=1e-9)
+
+
+class TestPoissonBinomial:
+    def test_equal_probs_match_binomial(self):
+        ps = [0.37] * 9
+        assert poisson_binomial_pmf(ps) == pytest.approx(binomial_pmf(9, 0.37))
+
+    def test_empty(self):
+        assert poisson_binomial_pmf([]).tolist() == [1.0]
+
+    def test_single_trial(self):
+        assert poisson_binomial_pmf([0.25]) == pytest.approx([0.75, 0.25])
+
+    def test_two_distinct_trials(self):
+        pmf = poisson_binomial_pmf([0.5, 0.2])
+        assert pmf == pytest.approx([0.4, 0.5, 0.1])
+
+    def test_deterministic_trials(self):
+        pmf = poisson_binomial_pmf([1.0, 1.0, 0.0])
+        assert pmf == pytest.approx([0.0, 0.0, 1.0, 0.0])
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([0.5, 1.7])
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=15)
+    )
+    @settings(max_examples=50)
+    def test_property_mean_is_sum(self, ps):
+        pmf = poisson_binomial_pmf(ps)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+        mean = float(np.arange(len(ps) + 1) @ pmf)
+        assert mean == pytest.approx(sum(ps), abs=1e-9)
+
+
+class TestCappedMoments:
+    def test_expected_capped_no_cap_effect(self):
+        pmf = binomial_pmf(6, 0.5)
+        assert expected_capped(pmf, 6) == pytest.approx(3.0)
+
+    def test_expected_capped_zero_cap(self):
+        pmf = binomial_pmf(6, 0.5)
+        assert expected_capped(pmf, 0) == 0.0
+
+    def test_tail_excess_complements_expected_capped(self):
+        pmf = binomial_pmf(12, 0.61)
+        mean = float(np.arange(13) @ pmf)
+        for cap in range(13):
+            assert expected_capped(pmf, cap) + tail_excess(pmf, cap) == (
+                pytest.approx(mean)
+            )
+
+    def test_tail_excess_decreasing_in_cap(self):
+        pmf = binomial_pmf(10, 0.7)
+        values = [tail_excess(pmf, cap) for cap in range(11)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_cap(self):
+        pmf = binomial_pmf(3, 0.5)
+        with pytest.raises(ValueError):
+            expected_capped(pmf, -1)
+        with pytest.raises(ValueError):
+            tail_excess(pmf, -2)
+
+    def test_cdf(self):
+        cdf = cdf_from_pmf(binomial_pmf(4, 0.5))
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= 0)

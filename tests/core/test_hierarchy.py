@@ -1,0 +1,251 @@
+"""Unit and property tests for the hierarchical requesting model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import HierarchicalRequestModel, paper_two_level_model
+from repro.exceptions import ModelError
+
+
+class TestLevelCounts:
+    def test_two_level_counts_eq1(self):
+        # N = k1*k2 = 4*2; N_0=1, N_1=k2-1, N_2=(k1-1)k2.
+        model = HierarchicalRequestModel.from_aggregate_fractions(
+            (4, 2), (0.6, 0.3, 0.1)
+        )
+        assert model.module_counts_per_separation() == [1, 1, 6]
+
+    def test_three_level_counts_eq1(self):
+        # Paper example: N_0=1, N_1=k3-1, N_2=(k2-1)k3, N_3=(k1-1)k2k3.
+        model = HierarchicalRequestModel.from_aggregate_fractions(
+            (2, 3, 4), (0.4, 0.3, 0.2, 0.1)
+        )
+        assert model.module_counts_per_separation() == [1, 3, 8, 12]
+
+    def test_counts_sum_to_machine_size(self):
+        model = HierarchicalRequestModel.from_aggregate_fractions(
+            (3, 2, 2), (0.5, 0.2, 0.2, 0.1)
+        )
+        assert sum(model.module_counts_per_separation()) == 12
+
+    def test_nxn_processor_counts_equal_module_counts(self):
+        model = paper_two_level_model(8)
+        assert (
+            model.processor_counts_per_separation()
+            == model.module_counts_per_separation()
+        )
+
+    def test_nxm_counts(self):
+        # 2 clusters x (3 processors, 2 modules) per leaf.
+        model = HierarchicalRequestModel.nxm(
+            (2, 3), 2, (0.35, 0.3 / 2)
+        )
+        assert model.n_processors == 6
+        assert model.n_memories == 4
+        # Favourites per processor: k'_n = 2; other cluster: (k1-1)*k'_n = 2.
+        assert model.module_counts_per_separation() == [2, 2]
+        # Processors per module: k_n = 3 in the leaf, (k1-1)*k_n = 3 outside.
+        assert model.processor_counts_per_separation() == [3, 3]
+
+
+class TestSeparation:
+    def test_nxn_two_level(self):
+        model = paper_two_level_model(8)  # clusters of 2
+        assert model.separation(0, 0) == 0  # favourite
+        assert model.separation(0, 1) == 1  # same cluster
+        assert model.separation(0, 2) == 2  # other cluster
+        assert model.separation(7, 7) == 0
+        assert model.separation(7, 6) == 1
+        assert model.separation(7, 0) == 2
+
+    def test_nxn_three_level(self):
+        model = HierarchicalRequestModel.from_aggregate_fractions(
+            (2, 2, 2), (0.4, 0.3, 0.2, 0.1)
+        )
+        assert model.separation(0, 0) == 0
+        assert model.separation(0, 1) == 1  # same innermost pair
+        assert model.separation(0, 2) == 2  # same mid cluster
+        assert model.separation(0, 4) == 3  # other top cluster
+
+    def test_nxm_separation(self):
+        model = HierarchicalRequestModel.nxm((2, 2), 3, (0.2, 0.4 / 3))
+        # Leaf 0 holds processors 0,1 and modules 0,1,2.
+        assert model.separation(0, 0) == 0
+        assert model.separation(0, 2) == 0
+        assert model.separation(0, 3) == 1
+        assert model.separation(3, 3) == 0  # processor 3 and module 3: leaf 1
+        assert model.separation(3, 0) == 1
+        assert model.separation(3, 5) == 0
+
+    def test_separation_symmetric_in_cluster_structure(self):
+        model = paper_two_level_model(16)
+        for p in range(16):
+            assert model.separation(p, p) == 0
+
+    def test_rejects_out_of_range(self):
+        model = paper_two_level_model(8)
+        with pytest.raises(ModelError):
+            model.separation(8, 0)
+        with pytest.raises(ModelError):
+            model.separation(0, -1)
+
+
+class TestFractionMatrix:
+    def test_rows_sum_to_one(self):
+        model = paper_two_level_model(12)
+        f = model.fraction_matrix()
+        assert np.allclose(f.sum(axis=1), 1.0)
+
+    def test_values_by_separation(self):
+        model = paper_two_level_model(8)
+        f = model.fraction_matrix()
+        assert f[0, 0] == pytest.approx(0.6)
+        assert f[0, 1] == pytest.approx(0.3)  # N_1 = 1 other in cluster
+        assert f[0, 5] == pytest.approx(0.1 / 6)
+
+    def test_validate_passes(self):
+        paper_two_level_model(16).validate()
+        HierarchicalRequestModel.nxm((2, 2), 3, (0.2, 0.4 / 3)).validate()
+
+    def test_uniform_fractions_reduce_to_uniform_model(self):
+        n = 8
+        model = HierarchicalRequestModel.nxn((4, 2), [1 / n] * 3)
+        assert np.allclose(model.fraction_matrix(), 1 / n)
+
+    def test_closed_form_x_matches_matrix_x(self):
+        for n, rate in ((8, 1.0), (12, 0.5), (16, 0.7)):
+            model = paper_two_level_model(n, rate=rate)
+            assert model.symmetric_module_probability() == pytest.approx(
+                float(model.module_request_probabilities()[0]), abs=1e-12
+            )
+
+    def test_nxm_closed_form_x_matches_matrix_x(self):
+        model = HierarchicalRequestModel.nxm(
+            (2, 2), 3, (0.2, 0.4 / 3), rate=0.8
+        )
+        xs = model.module_request_probabilities()
+        assert np.allclose(xs, xs[0])
+        assert model.symmetric_module_probability() == pytest.approx(
+            float(xs[0]), abs=1e-12
+        )
+
+    def test_paper_table2_anchor(self):
+        # N = 8, r = 1.0 -> N*X = 5.97 (crossbar row of Table II).
+        model = paper_two_level_model(8, rate=1.0)
+        x = model.symmetric_module_probability()
+        assert 8 * x == pytest.approx(5.9749, abs=5e-4)
+
+
+class TestConstruction:
+    def test_rejects_wrong_fraction_count(self):
+        with pytest.raises(ModelError, match="needs 3 fractions"):
+            HierarchicalRequestModel.nxn((4, 2), (0.6, 0.4))
+
+    def test_rejects_unnormalized_fractions(self):
+        with pytest.raises(ModelError, match="normalize"):
+            HierarchicalRequestModel.nxn((4, 2), (0.6, 0.3, 0.1))
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            HierarchicalRequestModel.nxn((4, 2), (1.6, 0.3, -0.1))
+
+    def test_rejects_empty_branching(self):
+        with pytest.raises(ModelError, match="at least one level"):
+            HierarchicalRequestModel.nxn((), (1.0,))
+
+    def test_rejects_zero_branching_factor(self):
+        with pytest.raises(ModelError, match=">= 1"):
+            HierarchicalRequestModel.nxn((4, 0), (0.6, 0.3, 0.1))
+
+    def test_nxm_requires_leaf_size(self):
+        with pytest.raises(ModelError, match="memory_leaf_size"):
+            HierarchicalRequestModel((2, 2), (0.5, 0.5), _variant="nxm")
+
+    def test_aggregate_must_sum_to_one(self):
+        with pytest.raises(ModelError, match="sum to 1"):
+            HierarchicalRequestModel.from_aggregate_fractions(
+                (4, 2), (0.6, 0.3, 0.3)
+            )
+
+    def test_aggregate_empty_class_rejected(self):
+        # Leaf clusters of size 1 leave separation-1 empty.
+        with pytest.raises(ModelError, match="empty separation"):
+            HierarchicalRequestModel.from_aggregate_fractions(
+                (4, 1), (0.6, 0.3, 0.1)
+            )
+
+    def test_locality_decreasing_flag(self):
+        assert paper_two_level_model(8).is_locality_decreasing()
+        increasing = HierarchicalRequestModel.nxn(
+            (4, 2), (0.1, 0.1, (1 - 0.1 - 0.1) / 6)
+        )
+        # m_2 per module = 0.8/6 > m_1? 0.133 > 0.1 -> not decreasing.
+        assert not increasing.is_locality_decreasing()
+
+    def test_repr(self):
+        text = repr(paper_two_level_model(8))
+        assert "nxn" in text and "branching=(4, 2)" in text
+
+
+class TestPaperTwoLevelModel:
+    def test_rejects_indivisible_clusters(self):
+        with pytest.raises(ModelError, match="divide"):
+            paper_two_level_model(10, clusters=4)
+
+    def test_custom_fractions(self):
+        model = paper_two_level_model(
+            8, aggregate_fractions=(0.8, 0.1, 0.1)
+        )
+        assert model.fractions[0] == pytest.approx(0.8)
+
+    def test_rate_propagates(self):
+        assert paper_two_level_model(8, rate=0.5).rate == 0.5
+
+
+@st.composite
+def hierarchy_strategy(draw):
+    """Random small hierarchies with valid aggregate fractions."""
+    depth = draw(st.integers(min_value=1, max_value=3))
+    branching = tuple(
+        draw(st.integers(min_value=2, max_value=3)) for _ in range(depth)
+    )
+    raw = [
+        draw(st.floats(min_value=0.05, max_value=1.0))
+        for _ in range(depth + 1)
+    ]
+    total = sum(raw)
+    aggregates = tuple(v / total for v in raw)
+    rate = draw(st.floats(min_value=0.1, max_value=1.0))
+    return branching, aggregates, rate
+
+
+class TestHierarchyProperties:
+    @given(hierarchy_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_property_rows_normalized_and_x_consistent(self, params):
+        branching, aggregates, rate = params
+        model = HierarchicalRequestModel.from_aggregate_fractions(
+            branching, aggregates, rate=rate
+        )
+        f = model.fraction_matrix()
+        assert np.allclose(f.sum(axis=1), 1.0, atol=1e-9)
+        xs = model.module_request_probabilities()
+        assert np.allclose(xs, xs[0], atol=1e-9)
+        assert model.symmetric_module_probability() == pytest.approx(
+            float(xs[0]), abs=1e-9
+        )
+
+    @given(hierarchy_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_property_counts_match_matrix_population(self, params):
+        branching, aggregates, rate = params
+        model = HierarchicalRequestModel.from_aggregate_fractions(
+            branching, aggregates, rate=rate
+        )
+        counts = model.module_counts_per_separation()
+        observed = [0] * len(counts)
+        for j in range(model.n_memories):
+            observed[model.separation(0, j)] += 1
+        assert observed == counts

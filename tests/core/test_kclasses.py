@@ -1,0 +1,155 @@
+"""Tests for the K-class closed forms (eqs. 10-12) against enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import bandwidth_full
+from repro.core.kclasses import (
+    bandwidth_kclass,
+    bus_busy_probabilities,
+    class_request_pmfs,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import brute_force_kclass_bandwidth
+
+UNIFORM8_X = 1.0 - (1.0 - 1.0 / 8) ** 8
+
+
+class TestClassRequestPmfs:
+    def test_shapes(self):
+        pmfs = class_request_pmfs([2, 3], 0.5)
+        assert len(pmfs[0]) == 3
+        assert len(pmfs[1]) == 4
+
+    def test_scalar_x_broadcasts(self):
+        pmfs = class_request_pmfs([2, 2], 0.4)
+        assert pmfs[0] == pytest.approx(pmfs[1])
+
+    def test_per_class_x(self):
+        pmfs = class_request_pmfs([1, 1], [0.2, 0.9])
+        assert pmfs[0][1] == pytest.approx(0.2)
+        assert pmfs[1][1] == pytest.approx(0.9)
+
+    def test_rejects_mismatched_x_count(self):
+        with pytest.raises(ConfigurationError, match="one X per class"):
+            class_request_pmfs([2, 2], [0.5])
+
+
+class TestBusBusyProbabilities:
+    def test_paper_example_structure(self):
+        # B=4, K=3 as in Fig. 3: bus 4 serves only C_3, bus 1 serves all.
+        ys = bus_busy_probabilities([2, 2, 2], 4, 0.5)
+        assert len(ys) == 4
+        # Y_B = 1 - Q_K(0).
+        assert ys[3] == pytest.approx(1.0 - 0.25)
+
+    def test_top_bus_formula(self):
+        x = 0.3
+        ys = bus_busy_probabilities([1, 2, 3], 3, x)
+        assert ys[2] == pytest.approx(1.0 - (1 - x) ** 3)
+
+    def test_busier_low_buses(self):
+        # Lower buses serve more classes, so Y_i is non-increasing in i
+        # ... except ties; check Y_1 >= Y_B.
+        ys = bus_busy_probabilities([2, 2, 2, 2], 4, 0.6)
+        assert ys[0] >= ys[-1] - 1e-12
+
+    def test_all_probabilities(self):
+        ys = bus_busy_probabilities([3, 3], 4, 0.7)
+        assert np.all(ys >= 0.0) and np.all(ys <= 1.0)
+
+    def test_empty_class_is_transparent(self):
+        # A zero-size class never blocks or occupies anything.
+        with_empty = bandwidth_kclass([0, 4], 2, 0.5)
+        # Equivalent: all 4 modules in one class attached to both buses
+        # ... which is the full-connection network with B=2.
+        assert with_empty == pytest.approx(bandwidth_full(4, 2, 0.5))
+
+    def test_rejects_k_above_b(self):
+        with pytest.raises(ConfigurationError, match="K <= B"):
+            bus_busy_probabilities([1, 1, 1], 2, 0.5)
+
+    def test_rejects_no_classes(self):
+        with pytest.raises(ConfigurationError):
+            bus_busy_probabilities([], 2, 0.5)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            bus_busy_probabilities([2, -1], 2, 0.5)
+
+    def test_rejects_all_empty(self):
+        with pytest.raises(ConfigurationError):
+            bus_busy_probabilities([0, 0], 2, 0.5)
+
+
+class TestBandwidthKClass:
+    def test_matches_brute_force(self):
+        cases = [
+            ([2, 2], 2, 0.5),
+            ([1, 2, 3], 3, 0.4),
+            ([2, 2, 2], 4, 0.65),
+            ([3, 1], 3, 0.8),
+            ([1, 1, 1, 1], 4, 0.3),
+        ]
+        for sizes, b, x in cases:
+            assert bandwidth_kclass(sizes, b, x) == pytest.approx(
+                brute_force_kclass_bandwidth(sizes, b, x), abs=1e-12
+            )
+
+    def test_paper_table6_cell(self):
+        # N=8, B=4, K=4 equal classes, uniform r=1.0 -> 3.68 (Table VI).
+        assert bandwidth_kclass([2, 2, 2, 2], 4, UNIFORM8_X) == pytest.approx(
+            3.68, abs=0.005
+        )
+
+    def test_k1_reduces_to_full_connection(self):
+        # A single class attached to every bus is eq. (4).
+        for m, b, x in ((6, 3, 0.5), (8, 4, 0.7), (5, 5, 0.2)):
+            assert bandwidth_kclass([m], b, x) == pytest.approx(
+                bandwidth_full(m, b, x), abs=1e-12
+            )
+
+    def test_below_full_connection(self):
+        # Restricting connectivity can only lose bandwidth.
+        x = 0.6
+        assert bandwidth_kclass([2, 2, 2, 2], 4, x) <= (
+            bandwidth_full(8, 4, x) + 1e-12
+        )
+
+    def test_zero_x(self):
+        assert bandwidth_kclass([2, 2], 2, 0.0) == 0.0
+
+    def test_x_one_saturates(self):
+        # Every module requested: every bus busy.
+        assert bandwidth_kclass([2, 2, 2], 3, 1.0) == pytest.approx(3.0)
+
+    def test_per_class_x_prefers_hot_high(self):
+        # Hot modules in the best-connected class win (paper principle 2).
+        hot, cold = 0.9, 0.2
+        high = bandwidth_kclass([2, 2], 2, [cold, hot])
+        low = bandwidth_kclass([2, 2], 2, [hot, cold])
+        assert high > low
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4),
+        extra_buses=st.integers(min_value=0, max_value=3),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_enumeration(self, sizes, extra_buses, x):
+        b = len(sizes) + extra_buses
+        analytic = bandwidth_kclass(sizes, b, x)
+        brute = brute_force_kclass_bandwidth(sizes, b, x)
+        assert analytic == pytest.approx(brute, abs=1e-9)
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=5),
+        x=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40)
+    def test_property_bounds(self, sizes, x):
+        b = len(sizes)
+        value = bandwidth_kclass(sizes, b, x)
+        assert -1e-9 <= value <= min(b, sum(sizes) * x) + 1e-9

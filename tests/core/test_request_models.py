@@ -1,0 +1,158 @@
+"""Unit tests for repro.core.request_models."""
+
+import numpy as np
+import pytest
+
+from repro.core.request_models import (
+    FavoriteMemoryRequestModel,
+    MatrixRequestModel,
+    UniformRequestModel,
+)
+from repro.exceptions import ModelError
+
+
+class TestUniformModel:
+    def test_fraction_matrix_rows_sum_to_one(self):
+        model = UniformRequestModel(6, 4)
+        f = model.fraction_matrix()
+        assert f.shape == (6, 4)
+        assert np.allclose(f.sum(axis=1), 1.0)
+        assert np.allclose(f, 0.25)
+
+    def test_request_matrix_scales_by_rate(self):
+        model = UniformRequestModel(4, 4, rate=0.5)
+        assert np.allclose(model.request_matrix(), 0.125)
+
+    def test_x_closed_form(self):
+        model = UniformRequestModel(8, 8)
+        expected = 1.0 - (1.0 - 1.0 / 8) ** 8
+        assert model.symmetric_module_probability() == pytest.approx(expected)
+
+    def test_x_closed_form_matches_matrix_path(self):
+        model = UniformRequestModel(10, 5, rate=0.7)
+        xs = model.module_request_probabilities()
+        assert xs == pytest.approx(
+            np.full(5, model.symmetric_module_probability())
+        )
+
+    def test_x_zero_rate(self):
+        model = UniformRequestModel(8, 8, rate=0.0)
+        assert model.symmetric_module_probability() == 0.0
+
+    def test_validate_passes(self):
+        UniformRequestModel(3, 7).validate()
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ModelError):
+            UniformRequestModel(0, 4)
+        with pytest.raises(ModelError):
+            UniformRequestModel(4, 0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ModelError):
+            UniformRequestModel(4, 4, rate=1.5)
+        with pytest.raises(ModelError):
+            UniformRequestModel(4, 4, rate=-0.1)
+
+    def test_with_rate_preserves_pattern(self):
+        model = UniformRequestModel(4, 4, rate=1.0).with_rate(0.25)
+        assert model.rate == 0.25
+        assert np.allclose(model.fraction_matrix(), 0.25)
+
+    def test_repr_mentions_dimensions(self):
+        assert "n_processors=3" in repr(UniformRequestModel(3, 5))
+
+
+class TestMatrixModel:
+    def test_accepts_valid_matrix(self):
+        f = np.array([[0.5, 0.5], [1.0, 0.0]])
+        model = MatrixRequestModel(f, rate=0.8)
+        assert np.allclose(model.fraction_matrix(), f)
+
+    def test_fraction_matrix_is_a_copy(self):
+        f = np.array([[1.0, 0.0], [0.0, 1.0]])
+        model = MatrixRequestModel(f)
+        model.fraction_matrix()[0, 0] = 99.0
+        assert model.fraction_matrix()[0, 0] == 1.0
+
+    def test_rejects_bad_row_sum(self):
+        with pytest.raises(ModelError, match="sums to"):
+            MatrixRequestModel(np.array([[0.5, 0.4]]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ModelError, match="negative"):
+            MatrixRequestModel(np.array([[1.5, -0.5]]))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ModelError, match="2-D"):
+            MatrixRequestModel(np.ones(4) / 4)
+
+    def test_module_probabilities_asymmetric(self):
+        # Both processors hammer module 0; module 1 idles.
+        f = np.array([[1.0, 0.0], [1.0, 0.0]])
+        xs = MatrixRequestModel(f, rate=0.5).module_request_probabilities()
+        assert xs[0] == pytest.approx(1.0 - 0.25)
+        assert xs[1] == 0.0
+
+    def test_symmetric_probability_raises_for_asymmetric(self):
+        f = np.array([[1.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ModelError, match="not module-symmetric"):
+            MatrixRequestModel(f).symmetric_module_probability()
+
+    def test_certain_request_saturates_x(self):
+        f = np.array([[1.0, 0.0], [0.0, 1.0]])
+        xs = MatrixRequestModel(f, rate=1.0).module_request_probabilities()
+        assert xs == pytest.approx([1.0, 1.0])
+
+
+class TestFavoriteMemoryModel:
+    def test_default_favorites_are_modular(self):
+        model = FavoriteMemoryRequestModel(6, 3, favorite_fraction=0.5)
+        assert model.favorites == [0, 1, 2, 0, 1, 2]
+
+    def test_fraction_matrix_structure(self):
+        model = FavoriteMemoryRequestModel(2, 4, favorite_fraction=0.4)
+        f = model.fraction_matrix()
+        assert f[0, 0] == pytest.approx(0.4)
+        assert f[0, 1] == pytest.approx(0.2)
+        assert np.allclose(f.sum(axis=1), 1.0)
+
+    def test_uniform_special_case(self):
+        # q = 1/M makes the favourite model uniform.
+        model = FavoriteMemoryRequestModel(4, 4, favorite_fraction=0.25)
+        assert np.allclose(model.fraction_matrix(), 0.25)
+
+    def test_module_symmetric_when_balanced(self):
+        model = FavoriteMemoryRequestModel(8, 8, favorite_fraction=0.6)
+        model.symmetric_module_probability()  # should not raise
+
+    def test_asymmetric_with_concentrated_favorites(self):
+        model = FavoriteMemoryRequestModel(
+            4, 4, favorite_fraction=0.9, favorites=[0, 0, 0, 0]
+        )
+        xs = model.module_request_probabilities()
+        assert xs[0] > xs[1]
+
+    def test_single_module_requires_full_fraction(self):
+        with pytest.raises(ModelError):
+            FavoriteMemoryRequestModel(4, 1, favorite_fraction=0.5)
+        FavoriteMemoryRequestModel(4, 1, favorite_fraction=1.0).validate()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ModelError):
+            FavoriteMemoryRequestModel(4, 4, favorite_fraction=1.2)
+
+    def test_rejects_wrong_favorites_length(self):
+        with pytest.raises(ModelError, match="one favourite per processor"):
+            FavoriteMemoryRequestModel(
+                4, 4, favorite_fraction=0.5, favorites=[0, 1]
+            )
+
+    def test_rejects_out_of_range_favorite(self):
+        with pytest.raises(ModelError, match="out of range"):
+            FavoriteMemoryRequestModel(
+                2, 4, favorite_fraction=0.5, favorites=[0, 7]
+            )
+
+    def test_validate_passes(self):
+        FavoriteMemoryRequestModel(5, 3, favorite_fraction=0.7).validate()

@@ -1,0 +1,71 @@
+"""Tests for the E11 (N x M) and E12 (resubmission) experiments."""
+
+import pytest
+
+from repro.experiments import nxm, resubmission
+from repro.experiments.nxm import nxm_model
+
+
+class TestNxmExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return nxm.run()
+
+    def test_consistency_checks_pass(self, result):
+        assert result.n_compared >= 12
+        assert result.all_within_tolerance()
+
+    def test_covers_three_memory_sizes(self, result):
+        assert {r["M"] for r in result.records} == {8, 16, 32}
+
+    def test_more_memory_helps(self, result):
+        # At fixed B=8, r=1.0, full connection: more modules -> fewer
+        # conflicts -> higher bandwidth.
+        by_m = {
+            r["M"]: r["bandwidth"]
+            for r in result.records
+            if r["scheme"] == "full" and r["B"] == 8 and r["r"] == 1.0
+        }
+        assert by_m[8] < by_m[16] < by_m[32]
+
+    def test_scheme_ordering_holds_for_nxm(self, result):
+        for m in (16, 32):
+            rows = {
+                r["scheme"]: r["bandwidth"]
+                for r in result.records
+                if r["M"] == m and r["B"] == 8 and r["r"] == 1.0
+            }
+            assert rows["full"] >= rows["partial"] - 1e-9
+            assert rows["partial"] >= rows["single"] - 1e-9
+
+    def test_nxm_model_shapes(self):
+        model = nxm_model(2)
+        assert model.n_processors == 16
+        assert model.n_memories == 8
+        model.validate()
+
+
+class TestResubmissionExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return resubmission.run(n_cycles=5_000, seed=1)
+
+    def test_analytic_tracks_simulation(self, result):
+        for row in result.records:
+            assert row["resub MBW analytic"] == pytest.approx(
+                row["resub MBW simulated"], rel=0.05
+            )
+            assert row["alpha analytic"] == pytest.approx(
+                row["alpha simulated"], abs=0.05
+            )
+
+    def test_resubmission_never_below_drop(self, result):
+        for row in result.records:
+            assert row["resub MBW analytic"] >= row["drop MBW (paper)"] - 1e-9
+
+    def test_wait_grows_with_rate(self, result):
+        waits = [row["wait simulated"] for row in result.records]
+        assert waits == sorted(waits)
+
+    def test_rendered(self, result):
+        assert "Drop model vs resubmission" in result.rendered

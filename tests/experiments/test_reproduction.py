@@ -1,0 +1,68 @@
+"""Integration tests: every paper table reproduces at printed precision.
+
+These are the acceptance tests of the whole reproduction: each paper
+table's transcribed cells must match our closed forms within the
+tolerance of the paper's two-decimal printing.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.exceptions import ExperimentError
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["table1", "table2", "table3", "table4", "table5", "table6", "figures"],
+)
+def test_experiment_reproduces_paper(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.n_compared > 0
+    assert result.all_within_tolerance(), "\n".join(
+        f"{m.cell}: computed {m.computed:.4f} vs paper {m.paper:.4f}"
+        for m in result.mismatches()
+    )
+
+
+def test_table2_compares_many_cells():
+    result = run_experiment("table2")
+    # Table II has 36 grid rows x 2 models minus illegible cells, plus
+    # 6 crossbar cells; we must compare the large majority.
+    assert result.n_compared >= 70
+
+
+def test_table2_records_cover_full_grid():
+    result = run_experiment("table2")
+    full_records = [r for r in result.records if r["scheme"] == "full"]
+    assert len(full_records) == (8 + 12 + 16) * 2
+
+
+def test_rendered_tables_contain_anchor_values():
+    result = run_experiment("table2")
+    assert "5.97" in result.rendered  # N=8 crossbar row
+    assert "11.78" in result.rendered  # N=16 crossbar row
+
+
+def test_claims_all_pass():
+    result = run_experiment("claims")
+    failures = [r for r in result.records if not r["passed"]]
+    assert not failures, failures
+
+
+def test_summary_strings():
+    result = run_experiment("table1")
+    assert "OK" in result.summary()
+    assert run_experiment("claims").summary().endswith("no paper cells")
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(ExperimentError, match="unknown experiment"):
+        run_experiment("table99")
+
+
+def test_registry_complete():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "figures", "claims", "validation", "ablation", "nxm",
+        "resubmission", "approximation",
+    }

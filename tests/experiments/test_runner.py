@@ -1,0 +1,32 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+class TestRunnerCli:
+    def test_single_experiment_quiet(self, capsys):
+        code = main(["table1", "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "table1" in captured.out
+        assert "OK" in captured.out
+
+    def test_multiple_experiments(self, capsys):
+        code = main(["table1", "figures", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "table1" in out and "figures" in out
+
+    def test_verbose_prints_tables(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "B(N + M)" in out  # the symbolic table
+
+    def test_unknown_experiment_raises(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["tableX", "--quiet"])

@@ -1,0 +1,92 @@
+"""Smoke and correctness tests for the E9/E10 experiment harnesses.
+
+Full-length versions run in the benchmarks; here we use reduced cycle
+counts and assert the scientific conclusions rather than exact numbers.
+"""
+
+import pytest
+
+from repro.experiments import ablation, validation
+from repro.experiments.validation import independence_workload
+
+
+class TestValidationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return validation.run(n_cycles=8_000, seed=7)
+
+    def test_independence_mode_agrees_everywhere(self, result):
+        rows = [r for r in result.records if r["mode"] == "independence"]
+        assert rows and all(r["agrees"] for r in rows)
+
+    def test_processor_mode_error_small(self, result):
+        rows = [r for r in result.records if r["mode"] == "processor"]
+        assert rows
+        for row in rows:
+            assert abs(row["rel_error"]) < 0.05, row
+
+    def test_processor_mode_never_below_analytic(self, result):
+        # The binomial approximation underestimates the correlated
+        # workload; simulation should not fall materially below it.
+        for row in result.records:
+            if row["mode"] == "processor":
+                assert row["approx_error"] > -0.05, row
+
+    def test_covers_all_schemes(self, result):
+        schemes = {r["scheme"] for r in result.records}
+        assert schemes == {
+            "full", "single", "partial", "kclass", "crossbar"
+        }
+
+    def test_independence_workload_shape(self):
+        model = independence_workload(6, 0.4)
+        assert model.rate == 0.4
+        xs = model.module_request_probabilities()
+        assert xs == pytest.approx([0.4] * 6)
+
+
+class TestAblationExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation.run(n_cycles=4_000, seed=13)
+
+    def test_placement_prefers_hot_high(self, result):
+        rows = {
+            r["placement"]: r["bandwidth"]
+            for r in result.records
+            if r.get("study") == "placement"
+        }
+        assert rows["hot_high"] > rows["hot_low"]
+
+    def test_frontier_orders_schemes_by_resilience(self, result):
+        rows = [r for r in result.records if r.get("study") == "frontier"]
+        full = {r["failed_buses"]: r for r in rows if r["scheme"] == "full"}
+        single = {
+            r["failed_buses"]: r for r in rows if r["scheme"] == "single"
+        }
+        # Full keeps everything reachable; single loses modules linearly.
+        assert all(r["accessible"] == 1.0 for r in full.values())
+        assert single[4]["accessible"] == pytest.approx(0.5)
+
+    def test_arbitration_loss_small_but_nonnegative(self, result):
+        rows = [r for r in result.records if r.get("study") == "arbitration"]
+        assert rows
+        for row in rows:
+            assert row["loss"] >= -0.05
+            assert row["rel_loss"] < 0.05
+
+    def test_rendered_mentions_all_studies(self, result):
+        assert "Class placement" in result.rendered
+        assert "Degraded-mode" in result.rendered
+        assert "optimal matching" in result.rendered
+
+
+class TestSkewedWorkload:
+    def test_hot_modules_hotter(self):
+        model = ablation.skewed_workload(16, hot_modules=8)
+        xs = model.module_request_probabilities()
+        assert min(xs[:8]) > max(xs[8:])
+
+    def test_class_placement_study_standalone(self):
+        records = ablation.class_placement_study(16, 4)
+        assert {r["placement"] for r in records} == {"hot_high", "hot_low"}

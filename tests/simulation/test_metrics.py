@@ -1,0 +1,96 @@
+"""Tests for the metrics collector and simulation result statistics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.metrics import MetricsCollector
+
+
+def _record_cycle(collector, requests, winners, grants):
+    collector.record(requests, winners, grants)
+
+
+class TestMetricsCollector:
+    def test_bandwidth_is_mean_grants(self):
+        collector = MetricsCollector(4, 4, 2)
+        _record_cycle(
+            collector, [(0, 0), (1, 1)], {0: 0, 1: 1}, {0: 0, 1: 1}
+        )
+        _record_cycle(collector, [(0, 0)], {0: 0}, {0: 0})
+        result = collector.result()
+        assert result.bandwidth == pytest.approx(1.5)
+        assert result.n_cycles == 2
+
+    def test_requests_per_cycle(self):
+        collector = MetricsCollector(4, 4, 2)
+        _record_cycle(collector, [(0, 0), (1, 0), (2, 0)], {0: 1}, {0: 0})
+        result = collector.result()
+        assert result.requests_per_cycle == pytest.approx(3.0)
+
+    def test_acceptance_probability(self):
+        collector = MetricsCollector(4, 4, 2)
+        _record_cycle(collector, [(0, 0), (1, 0)], {0: 0}, {0: 0})
+        result = collector.result()
+        assert result.acceptance_probability == pytest.approx(0.5)
+
+    def test_acceptance_zero_when_no_requests(self):
+        collector = MetricsCollector(4, 4, 2)
+        _record_cycle(collector, [], {}, {})
+        assert collector.result().acceptance_probability == 0.0
+
+    def test_bus_utilization(self):
+        collector = MetricsCollector(4, 4, 2)
+        _record_cycle(collector, [(0, 0)], {0: 0}, {0: 0})
+        _record_cycle(collector, [(0, 0)], {0: 0}, {1: 0})
+        result = collector.result()
+        assert result.bus_utilization == (0.5, 0.5)
+
+    def test_module_and_processor_rates(self):
+        collector = MetricsCollector(2, 3, 1)
+        _record_cycle(collector, [(1, 2)], {2: 1}, {0: 2})
+        result = collector.result()
+        assert result.module_service_rates == (0.0, 0.0, 1.0)
+        assert result.processor_success_rates == (0.0, 1.0)
+
+    def test_empty_collector_raises(self):
+        with pytest.raises(SimulationError, match="no cycles"):
+            MetricsCollector(2, 2, 1).result()
+
+    def test_ci_small_sample_uses_plain_stderr(self):
+        collector = MetricsCollector(2, 2, 2)
+        for grants in ({0: 0}, {0: 0, 1: 1}, {}, {0: 1}):
+            _record_cycle(
+                collector, [(0, 0)], {m: 0 for m in grants.values()}, grants
+            )
+        result = collector.result()
+        assert result.bandwidth_ci95 > 0.0
+
+    def test_ci_single_cycle_is_infinite(self):
+        collector = MetricsCollector(2, 2, 1)
+        _record_cycle(collector, [(0, 0)], {0: 0}, {0: 0})
+        assert collector.result().bandwidth_ci95 == float("inf")
+
+    def test_constant_grants_zero_ci(self):
+        collector = MetricsCollector(2, 2, 1)
+        for _ in range(100):
+            _record_cycle(collector, [(0, 0)], {0: 0}, {0: 0})
+        result = collector.result()
+        assert result.bandwidth == 1.0
+        assert result.bandwidth_ci95 == pytest.approx(0.0, abs=1e-12)
+
+    def test_agrees_with(self):
+        collector = MetricsCollector(2, 2, 1)
+        for _ in range(100):
+            _record_cycle(collector, [(0, 0)], {0: 0}, {0: 0})
+        result = collector.result()
+        assert result.agrees_with(1.0)
+        assert not result.agrees_with(1.5)
+        assert result.agrees_with(1.5, slack=0.6)
+
+    def test_summary_format(self):
+        collector = MetricsCollector(2, 2, 1)
+        _record_cycle(collector, [(0, 0)], {0: 0}, {0: 0})
+        _record_cycle(collector, [(0, 0)], {0: 0}, {0: 0})
+        text = collector.result().summary()
+        assert "MBW = 1.0000" in text
+        assert "2 cycles" in text

@@ -1,0 +1,29 @@
+"""Run every library docstring example as a test.
+
+Docstring examples are part of the documented API surface; this keeps
+them from rotting as the code evolves.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _library_modules():
+    names = [repro.__name__]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _library_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{module_name}: {results.failed} doctest failure(s)"
+    )

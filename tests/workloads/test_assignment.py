@@ -1,0 +1,137 @@
+"""Tests for task assignment and the induced hierarchical traffic."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import paper_two_level_model
+from repro.exceptions import ModelError
+from repro.workloads.assignment import (
+    assign_tasks_locality_aware,
+    assign_tasks_round_robin,
+    fit_hierarchical_fractions,
+    induced_request_model,
+)
+from repro.workloads.task_graph import clustered_task_graph
+
+
+@pytest.fixture
+def workload():
+    return clustered_task_graph(
+        32, 8, intra_probability=0.9, inter_probability=0.05, seed=42
+    )
+
+
+class TestAssignments:
+    def test_round_robin_balanced(self, workload):
+        assignment = assign_tasks_round_robin(workload, 8)
+        assert assignment.load_per_processor() == [4] * 8
+
+    def test_locality_aware_balanced(self, workload):
+        assignment = assign_tasks_locality_aware(workload, 8)
+        assert assignment.load_per_processor() == [4] * 8
+
+    def test_locality_aware_cuts_less_traffic(self):
+        # Shuffle task labels so the round-robin baseline cannot
+        # accidentally align with the planted communities.
+        import networkx as nx
+
+        base = clustered_task_graph(
+            32, 8, intra_probability=0.9, inter_probability=0.05, seed=42
+        )
+        permutation = np.random.default_rng(9).permutation(32)
+        shuffled_graph = nx.relabel_nodes(
+            base.graph, {t: int(permutation[t]) for t in range(32)}
+        )
+        communities = [0] * 32
+        for t in range(32):
+            communities[int(permutation[t])] = base.communities[t]
+        from repro.workloads.task_graph import TaskGraph
+
+        shuffled = TaskGraph(
+            graph=shuffled_graph, communities=tuple(communities)
+        )
+        smart = assign_tasks_locality_aware(shuffled, 8)
+        naive = assign_tasks_round_robin(shuffled, 8)
+        assert smart.cross_processor_volume(shuffled) < (
+            naive.cross_processor_volume(shuffled)
+        )
+
+    def test_tasks_of_processor(self, workload):
+        assignment = assign_tasks_round_robin(workload, 8)
+        assert assignment.tasks_of_processor(0) == [0, 8, 16, 24]
+
+    def test_rejects_unbalanced(self, workload):
+        with pytest.raises(ModelError, match="divide"):
+            assign_tasks_locality_aware(workload, 5)
+
+    def test_rejects_too_few_tasks(self):
+        tiny = clustered_task_graph(4, 2, seed=0)
+        with pytest.raises(ModelError, match="cover"):
+            assign_tasks_locality_aware(tiny, 8)
+
+
+class TestInducedModel:
+    def test_valid_request_model(self, workload):
+        assignment = assign_tasks_locality_aware(workload, 8)
+        model = induced_request_model(workload, assignment, rate=0.8)
+        model.validate()
+        assert model.rate == 0.8
+        assert model.n_processors == model.n_memories == 8
+
+    def test_self_fraction_on_diagonal(self, workload):
+        assignment = assign_tasks_locality_aware(workload, 8)
+        model = induced_request_model(
+            workload, assignment, self_fraction=0.6
+        )
+        f = model.fraction_matrix()
+        diag = np.diag(f)
+        # Processors with external communication keep exactly 0.6.
+        assert np.all((diag >= 0.6 - 1e-9))
+
+    def test_isolated_processor_requests_itself(self):
+        lonely = clustered_task_graph(
+            8, 2, intra_probability=0.0, inter_probability=0.0, seed=0
+        )
+        assignment = assign_tasks_round_robin(lonely, 4)
+        f = induced_request_model(lonely, assignment).fraction_matrix()
+        assert np.allclose(np.diag(f), 1.0)
+
+    def test_rejects_bad_self_fraction(self, workload):
+        assignment = assign_tasks_round_robin(workload, 8)
+        with pytest.raises(ModelError):
+            induced_request_model(workload, assignment, self_fraction=0.0)
+
+
+class TestHierarchicalFit:
+    def test_exact_hierarchical_input_fits_exactly(self):
+        target = paper_two_level_model(8, rate=1.0)
+        from repro.core.request_models import MatrixRequestModel
+
+        observed = MatrixRequestModel(target.fraction_matrix(), rate=1.0)
+        fit = fit_hierarchical_fractions(observed, (4, 2))
+        assert fit.max_abs_error == pytest.approx(0.0, abs=1e-12)
+        assert fit.aggregate_fractions == pytest.approx((0.6, 0.3, 0.1))
+
+    def test_clustered_workload_fits_hierarchically(self, workload):
+        # End-to-end: task graph -> assignment -> traffic -> fitted model.
+        assignment = assign_tasks_locality_aware(workload, 8)
+        observed = induced_request_model(workload, assignment)
+        fit = fit_hierarchical_fractions(observed, (4, 2))
+        model = fit.model
+        model.validate()
+        # Locality must show: the favourite share dominates.
+        assert fit.aggregate_fractions[0] >= 0.4
+
+    def test_rejects_non_square(self):
+        from repro.core.request_models import MatrixRequestModel
+
+        observed = MatrixRequestModel(np.full((4, 2), 0.5))
+        with pytest.raises(ModelError, match="N x N"):
+            fit_hierarchical_fractions(observed, (2, 2))
+
+    def test_rejects_wrong_branching(self):
+        from repro.core.request_models import MatrixRequestModel
+
+        observed = MatrixRequestModel(np.full((8, 8), 1 / 8))
+        with pytest.raises(ModelError, match="describes"):
+            fit_hierarchical_fractions(observed, (2, 2))

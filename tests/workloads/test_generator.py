@@ -1,0 +1,109 @@
+"""Tests for request generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import paper_two_level_model
+from repro.core.request_models import MatrixRequestModel, UniformRequestModel
+from repro.exceptions import SimulationError
+from repro.workloads.generator import (
+    FixedRequestGenerator,
+    ModelRequestGenerator,
+)
+
+
+class TestModelRequestGenerator:
+    def test_cycle_count(self, rng):
+        gen = ModelRequestGenerator(UniformRequestModel(4, 4))
+        cycles = list(gen.cycles(10, rng))
+        assert len(cycles) == 10
+
+    def test_zero_cycles(self, rng):
+        gen = ModelRequestGenerator(UniformRequestModel(4, 4))
+        assert list(gen.cycles(0, rng)) == []
+
+    def test_rejects_negative_cycles(self, rng):
+        gen = ModelRequestGenerator(UniformRequestModel(4, 4))
+        with pytest.raises(SimulationError):
+            list(gen.cycles(-1, rng))
+
+    def test_rate_one_every_processor_requests(self, rng):
+        gen = ModelRequestGenerator(UniformRequestModel(5, 3, rate=1.0))
+        for cycle in gen.cycles(20, rng):
+            assert sorted(p for p, _ in cycle) == [0, 1, 2, 3, 4]
+
+    def test_rate_zero_no_requests(self, rng):
+        gen = ModelRequestGenerator(UniformRequestModel(5, 3, rate=0.0))
+        for cycle in gen.cycles(20, rng):
+            assert cycle == []
+
+    def test_empirical_rate(self, rng):
+        gen = ModelRequestGenerator(UniformRequestModel(8, 8, rate=0.3))
+        total = sum(len(c) for c in gen.cycles(5000, rng))
+        assert total / (5000 * 8) == pytest.approx(0.3, abs=0.02)
+
+    def test_empirical_fractions_match_model(self, rng):
+        model = paper_two_level_model(8, rate=1.0)
+        gen = ModelRequestGenerator(model)
+        counts = np.zeros((8, 8))
+        n_cycles = 20_000
+        for cycle in gen.cycles(n_cycles, rng):
+            for p, m in cycle:
+                counts[p, m] += 1
+        observed = counts / counts.sum(axis=1, keepdims=True)
+        assert np.allclose(observed, model.fraction_matrix(), atol=0.02)
+
+    def test_deterministic_pattern_row(self, rng):
+        # Processor 0 only ever requests module 3.
+        f = np.zeros((2, 4))
+        f[0, 3] = 1.0
+        f[1, 0] = 1.0
+        gen = ModelRequestGenerator(MatrixRequestModel(f))
+        for cycle in gen.cycles(30, rng):
+            assert dict(cycle) == {0: 3, 1: 0}
+
+    def test_block_boundary_behaviour(self, rng):
+        # More cycles than the internal block size.
+        gen = ModelRequestGenerator(UniformRequestModel(2, 2))
+        cycles = list(gen.cycles(ModelRequestGenerator._BLOCK + 7, rng))
+        assert len(cycles) == ModelRequestGenerator._BLOCK + 7
+
+    def test_modules_in_range(self, rng):
+        gen = ModelRequestGenerator(UniformRequestModel(6, 3))
+        for cycle in gen.cycles(200, rng):
+            assert all(0 <= m < 3 for _, m in cycle)
+
+
+class TestFixedRequestGenerator:
+    def test_replays_schedule(self, rng):
+        schedule = [[(0, 1)], [(1, 0), (0, 0)]]
+        gen = FixedRequestGenerator(schedule, 2, 2)
+        cycles = list(gen.cycles(2, rng))
+        assert cycles == [[(0, 1)], [(1, 0), (0, 0)]]
+
+    def test_wraps_around(self, rng):
+        gen = FixedRequestGenerator([[(0, 0)], []], 1, 1)
+        cycles = list(gen.cycles(5, rng))
+        assert cycles == [[(0, 0)], [], [(0, 0)], [], [(0, 0)]]
+
+    def test_len(self):
+        assert len(FixedRequestGenerator([[], [], []], 1, 1)) == 3
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(SimulationError, match="at least one cycle"):
+            FixedRequestGenerator([], 1, 1)
+
+    def test_rejects_out_of_range_processor(self):
+        with pytest.raises(SimulationError, match="processor"):
+            FixedRequestGenerator([[(3, 0)]], 2, 2)
+
+    def test_rejects_out_of_range_module(self):
+        with pytest.raises(SimulationError, match="module"):
+            FixedRequestGenerator([[(0, 5)]], 2, 2)
+
+    def test_cycles_are_copies(self, rng):
+        gen = FixedRequestGenerator([[(0, 0)]], 1, 1)
+        first = next(iter(gen.cycles(1, rng)))
+        first.append((0, 0))
+        again = next(iter(gen.cycles(1, rng)))
+        assert again == [(0, 0)]

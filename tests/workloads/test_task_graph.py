@@ -1,0 +1,69 @@
+"""Tests for synthetic task-communication graphs."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.workloads.task_graph import TaskGraph, clustered_task_graph
+
+
+class TestClusteredTaskGraph:
+    def test_dimensions(self):
+        tg = clustered_task_graph(16, 4, seed=0)
+        assert tg.n_tasks == 16
+        assert len(tg.communities) == 16
+
+    def test_balanced_communities(self):
+        tg = clustered_task_graph(12, 3, seed=0)
+        for c in range(3):
+            assert sum(1 for x in tg.communities if x == c) == 4
+
+    def test_locality_dominates(self):
+        tg = clustered_task_graph(
+            24, 4, intra_probability=0.8, inter_probability=0.05, seed=1
+        )
+        assert tg.intra_community_fraction() > 0.6
+
+    def test_weights_in_declared_ranges(self):
+        tg = clustered_task_graph(
+            16, 4,
+            intra_weight=(5.0, 10.0),
+            inter_weight=(0.5, 2.0),
+            seed=2,
+        )
+        for a, b, data in tg.graph.edges(data=True):
+            w = data["weight"]
+            if tg.communities[a] == tg.communities[b]:
+                assert 5.0 <= w <= 10.0
+            else:
+                assert 0.5 <= w <= 2.0
+
+    def test_seed_reproducible(self):
+        a = clustered_task_graph(16, 4, seed=5)
+        b = clustered_task_graph(16, 4, seed=5)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_weight_query(self):
+        tg = clustered_task_graph(8, 2, intra_probability=1.0, seed=0)
+        assert tg.weight(0, 2) > 0.0  # same community (0, 2 both even)
+        # Missing edge yields zero.
+        lonely = clustered_task_graph(
+            8, 2, intra_probability=0.0, inter_probability=0.0, seed=0
+        )
+        assert lonely.weight(0, 1) == 0.0
+        assert lonely.total_weight() == 0.0
+        assert lonely.intra_community_fraction() == 0.0
+
+    def test_task_volume(self):
+        tg = clustered_task_graph(8, 2, seed=3)
+        total = sum(tg.task_volume(t) for t in range(8))
+        assert total == pytest.approx(2 * tg.total_weight())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ModelError):
+            clustered_task_graph(0, 1)
+        with pytest.raises(ModelError):
+            clustered_task_graph(4, 5)
+        with pytest.raises(ModelError):
+            clustered_task_graph(4, 2, intra_probability=1.5)
+        with pytest.raises(ModelError):
+            clustered_task_graph(4, 2, intra_weight=(5.0, 1.0))
