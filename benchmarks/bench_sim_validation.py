@@ -2,10 +2,24 @@
 
 Uses a reduced cycle count so the benchmark stays responsive; the
 scientific assertions (exactness under the independence workload, small
-approximation error under the processor workload) still hold.
+approximation error under the processor workload) still hold.  A second
+benchmark pins the vectorized backend's speedup and agreement contract
+against the reference loop backend.
 """
 
+import time
+
+from repro.analysis.sweep import paper_model_pair
 from repro.experiments import validation
+from repro.simulation.engine import MultiprocessorSimulator
+from repro.topology.factory import build_network
+
+_AGREEMENT_SCHEMES = (
+    ("full", {}),
+    ("single", {}),
+    ("partial", {"n_groups": 2}),
+    ("kclass", {}),
+)
 
 
 def test_sim_validation(benchmark):
@@ -20,3 +34,50 @@ def test_sim_validation(benchmark):
     assert independence and all(r["agrees"] for r in independence)
     processor = [r for r in result.records if r["mode"] == "processor"]
     assert all(abs(r["rel_error"]) < 0.05 for r in processor)
+
+
+def test_vectorized_speedup(benchmark):
+    """Vectorized >= 10x loop on N = M = 16, B = 8, 20 000 cycles.
+
+    Also checks the agreement contract on all four bused schemes: the
+    backends' bandwidths must lie within 3 standard errors of each other
+    — trivially satisfied here because grant counts match exactly, which
+    is asserted too.
+    """
+    model = paper_model_pair(16, 1.0)["hier"]
+    for scheme, kwargs in _AGREEMENT_SCHEMES:
+        network = build_network(scheme, 16, 16, 8, **kwargs)
+        loop = MultiprocessorSimulator(
+            network, model, seed=7, backend="loop"
+        ).run(4_000)
+        vec = MultiprocessorSimulator(
+            network, model, seed=7, backend="vectorized"
+        ).run(4_000)
+        sigma = loop.bandwidth_ci95 / 1.96
+        assert abs(vec.bandwidth - loop.bandwidth) <= 3 * sigma
+        assert vec.grant_counts == loop.grant_counts
+
+    network = build_network("full", 16, 16, 8)
+    cycles = 20_000
+    start = time.perf_counter()
+    loop_result = MultiprocessorSimulator(
+        network, model, seed=7, backend="loop"
+    ).run(cycles)
+    loop_seconds = time.perf_counter() - start
+
+    vec_sim = MultiprocessorSimulator(
+        network, model, seed=7, backend="vectorized"
+    )
+    start = time.perf_counter()
+    vec_result = benchmark.pedantic(
+        lambda: vec_sim.run(cycles), rounds=1, iterations=1
+    )
+    vec_seconds = time.perf_counter() - start
+
+    assert vec_result.bandwidth == loop_result.bandwidth
+    speedup = loop_seconds / vec_seconds
+    print(
+        f"\nloop {loop_seconds:.3f}s, vectorized {vec_seconds:.3f}s, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= 10, f"vectorized speedup {speedup:.1f}x < 10x"

@@ -8,6 +8,12 @@ from repro.analysis.capacity import (
 )
 from repro.analysis.compare import SchemeComparison, compare_schemes
 from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.parallel import (
+    ResultCache,
+    parallel_map,
+    simulated_bandwidth_sweep,
+    spawn_seeds,
+)
 from repro.analysis.sweep import (
     bandwidth_sweep,
     bus_count_sweep,
@@ -20,6 +26,10 @@ __all__ = [
     "bandwidth_sweep",
     "bus_count_sweep",
     "paper_model_pair",
+    "simulated_bandwidth_sweep",
+    "parallel_map",
+    "spawn_seeds",
+    "ResultCache",
     "compare_schemes",
     "SchemeComparison",
     "render_table",

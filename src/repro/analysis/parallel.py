@@ -1,0 +1,327 @@
+"""Parallel sweep execution: process pools, per-cell seeds, result cache.
+
+The paper's evaluation is a grid of (scheme, N, B, r, model) cells, and
+the Monte-Carlo validation of eqs. (4), (6), (9), (12) repeats the grid
+with tens of thousands of simulated cycles per cell.  This module makes
+those grids embarrassingly parallel without giving up reproducibility:
+
+* **Deterministic per-cell seeds** — every sweep spawns one
+  :class:`numpy.random.SeedSequence` child per grid cell *by cell index*
+  (:func:`spawn_seeds`), before any work is dispatched.  Spawning is a
+  pure function of the root seed, so a 1-worker and a 4-worker run — or
+  a rerun on a different machine — produce bit-identical records no
+  matter how the scheduler interleaves cells.
+* **Process-pool fan-out** — :func:`parallel_map` runs a picklable
+  worker over the cells with :class:`concurrent.futures.ProcessPoolExecutor`,
+  preserving input order; ``n_workers in (None, 0, 1)`` degrades to a
+  plain serial loop with identical results.
+* **Keyed on-disk cache** — :class:`ResultCache` stores each cell's
+  JSON record under a SHA-256 key of its full parameterization, so
+  repeated table builds skip completed cells and only compute what
+  changed.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.sweep import paper_model_pair
+from repro.core.request_models import RequestModel
+from repro.exceptions import ConfigurationError
+from repro.simulation.engine import simulate_bandwidth
+from repro.topology.factory import build_network
+
+__all__ = [
+    "spawn_seeds",
+    "seed_fingerprint",
+    "ResultCache",
+    "parallel_map",
+    "simulated_bandwidth_sweep",
+]
+
+
+def spawn_seeds(
+    seed: int | np.random.SeedSequence | None, n: int
+) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` independent child seeds from one root seed.
+
+    Children are derived by index from the root
+    :class:`~numpy.random.SeedSequence`, so the mapping *cell index ->
+    random stream* depends only on ``(seed, n_cells)`` — never on worker
+    count, scheduling order, or which cells were served from a cache.
+    Passing ``None`` draws root entropy from the OS (irreproducible but
+    still independent per cell).
+    """
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return root.spawn(n)
+
+
+def seed_fingerprint(seed: np.random.SeedSequence) -> dict[str, object]:
+    """JSON-safe identity of a :class:`~numpy.random.SeedSequence`.
+
+    Two sequences with equal fingerprints generate identical streams;
+    used to key cached Monte-Carlo records by their exact randomness.
+    """
+    entropy = seed.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = [int(e) for e in entropy]
+    elif entropy is not None:
+        entropy = int(entropy)
+    return {
+        "entropy": entropy,
+        "spawn_key": [int(k) for k in seed.spawn_key],
+    }
+
+
+class ResultCache:
+    """On-disk JSON store keyed by a SHA-256 digest of cell parameters.
+
+    Each entry is one file ``<key>.json`` under ``directory`` (created
+    on demand).  Writes go through a temp file + :func:`os.replace`, so
+    concurrent workers of the same sweep can share a cache directory
+    without torn entries.  Values must be JSON-serializable — sweep
+    records (dicts of numbers, strings and booleans) are.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, directory: str | Path):
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        """The backing directory."""
+        return self._dir
+
+    @staticmethod
+    def key(params: dict[str, object]) -> str:
+        """Stable digest of a parameter dict (order-insensitive)."""
+        canonical = json.dumps(params, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self._dir / f"{key}.json"
+
+    def get(self, key: str, default: object = None) -> object:
+        """Return the cached value for ``key``, or ``default``."""
+        try:
+            with open(self._path(key)) as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return default
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def put(self, key: str, value: object) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            json.dump(value, handle)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._dir.glob("*.json"))
+
+
+def _as_cache(cache: "ResultCache | str | Path | None") -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def parallel_map(
+    func: Callable,
+    items: Iterable,
+    n_workers: int | None = None,
+    cache: "ResultCache | str | Path | None" = None,
+    cache_params: Callable[[object], dict] | None = None,
+) -> list:
+    """Apply a picklable ``func`` over ``items``, preserving input order.
+
+    Parameters
+    ----------
+    func:
+        Module-level callable (pickled into worker processes when
+        ``n_workers > 1``).
+    items:
+        Work descriptions, one per output slot.
+    n_workers:
+        Process count; ``None``, ``0`` or ``1`` run serially in-process
+        with identical results (workers only change wall-clock time).
+    cache:
+        Optional :class:`ResultCache` (or a directory path for one).
+        Items whose key is present are returned from disk without
+        calling ``func``; fresh results are stored after computing.
+    cache_params:
+        Maps an item to its JSON-safe parameter dict for
+        :meth:`ResultCache.key`; required when ``cache`` is given.
+    """
+    items = list(items)
+    if cache is not None and cache_params is None:
+        raise ConfigurationError("cache requires a cache_params function")
+    cache = _as_cache(cache)
+
+    results: list = [None] * len(items)
+    pending: list[tuple[int, object, str | None]] = []
+    for index, item in enumerate(items):
+        key = None
+        if cache is not None:
+            key = cache.key(cache_params(item))
+            hit = cache.get(key, ResultCache._MISSING)
+            if hit is not ResultCache._MISSING:
+                results[index] = hit
+                continue
+        pending.append((index, item, key))
+
+    if n_workers is not None and n_workers > 1 and len(pending) > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers
+        ) as executor:
+            futures = {
+                executor.submit(func, item): (index, key)
+                for index, item, key in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index, key = futures[future]
+                results[index] = future.result()
+                if cache is not None:
+                    cache.put(key, results[index])
+    else:
+        for index, item, key in pending:
+            results[index] = func(item)
+            if cache is not None:
+                cache.put(key, results[index])
+    return results
+
+
+# ---------------------------------------------------------------------------
+# The Monte-Carlo counterpart of analysis.sweep.bandwidth_sweep
+# ---------------------------------------------------------------------------
+
+
+def _simulated_cell(spec: dict) -> dict[str, object]:
+    """Worker: simulate one sweep cell (module-level, picklable)."""
+    network = build_network(
+        spec["scheme"],
+        spec["N"],
+        spec["M"],
+        spec["B"],
+        **spec["network_kwargs"],
+    )
+    model: RequestModel = spec["model"]
+    result = simulate_bandwidth(
+        network,
+        model,
+        n_cycles=spec["n_cycles"],
+        seed=spec["seed"],
+        backend=spec["backend"],
+    )
+    return {
+        "scheme": spec["scheme"],
+        "N": spec["N"],
+        "M": spec["M"],
+        "B": spec["B"],
+        "r": spec["r"],
+        "model": spec["model_name"],
+        "analytic": analytic_bandwidth(network, model),
+        "bandwidth": result.bandwidth,
+        "ci95": result.bandwidth_ci95,
+    }
+
+
+def _simulated_cell_params(spec: dict) -> dict[str, object]:
+    """Cache identity of one simulated sweep cell."""
+    return {
+        "kind": "simulated_cell",
+        "scheme": spec["scheme"],
+        "N": spec["N"],
+        "M": spec["M"],
+        "B": spec["B"],
+        "r": spec["r"],
+        "model": spec["model_name"],
+        "model_factory": spec["model_factory_name"],
+        "network_kwargs": spec["network_kwargs"],
+        "n_cycles": spec["n_cycles"],
+        "backend": spec["backend"],
+        "seed": seed_fingerprint(spec["seed"]),
+    }
+
+
+def simulated_bandwidth_sweep(
+    scheme: str,
+    n_processors: int,
+    bus_counts: Sequence[int],
+    rates: Sequence[float],
+    model_factory: Callable[[int, float], dict[str, RequestModel]] = paper_model_pair,
+    n_memories: int | None = None,
+    n_cycles: int = 20_000,
+    seed: int | np.random.SeedSequence | None = 0,
+    backend: str = "auto",
+    n_workers: int | None = None,
+    cache: "ResultCache | str | Path | None" = None,
+    **network_kwargs,
+) -> list[dict[str, object]]:
+    """Monte-Carlo bandwidth over a (B, r, model) grid, in parallel.
+
+    The simulated counterpart of
+    :func:`repro.analysis.sweep.bandwidth_sweep`: one record per valid
+    grid cell with both the closed-form (``analytic``) and simulated
+    (``bandwidth`` ± ``ci95``) values.  Every cell simulates under its
+    own :class:`~numpy.random.SeedSequence` child spawned by cell index
+    from ``seed`` — records are identical for any ``n_workers`` and for
+    cache hits vs recomputation.
+    """
+    if n_memories is None:
+        n_memories = n_processors
+    cells: list[dict] = []
+    for rate in rates:
+        models = model_factory(n_processors, rate)
+        for n_buses in bus_counts:
+            try:
+                build_network(
+                    scheme, n_processors, n_memories, n_buses, **network_kwargs
+                )
+            except ConfigurationError:
+                continue
+            for name, model in models.items():
+                cells.append(
+                    {
+                        "scheme": scheme,
+                        "N": n_processors,
+                        "M": n_memories,
+                        "B": n_buses,
+                        "r": rate,
+                        "model": model,
+                        "model_name": name,
+                        "model_factory_name": getattr(
+                            model_factory, "__qualname__", str(model_factory)
+                        ),
+                        "network_kwargs": dict(network_kwargs),
+                        "n_cycles": n_cycles,
+                        "backend": backend,
+                    }
+                )
+    for cell, cell_seed in zip(cells, spawn_seeds(seed, len(cells))):
+        cell["seed"] = cell_seed
+    return parallel_map(
+        _simulated_cell,
+        cells,
+        n_workers=n_workers,
+        cache=cache,
+        cache_params=_simulated_cell_params,
+    )

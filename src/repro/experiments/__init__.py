@@ -10,6 +10,7 @@ Registry::
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable
 
 from repro.exceptions import ExperimentError
@@ -54,9 +55,12 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     """Run one registered experiment by id.
 
+    Keyword arguments not accepted by the experiment's ``run`` function
+    (e.g. ``n_workers`` for purely analytic experiments) are silently
+    dropped, so callers can pass one option set across the registry.
     Raises :class:`~repro.exceptions.ExperimentError` for unknown ids.
     """
     try:
@@ -66,4 +70,7 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return runner()
+    if kwargs:
+        accepted = inspect.signature(runner).parameters
+        kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    return runner(**kwargs)

@@ -7,11 +7,16 @@ of nominal request rates it reports the drop-model bandwidth (the
 paper's eq. 4), the rate-adjusted analytic resubmission prediction, and
 the event-level resubmission simulation — including the effective
 submission rate and queueing delay the drop model cannot express.
+
+Each rate simulates under its own :class:`~numpy.random.SeedSequence`
+child spawned by sweep index from the experiment seed, so the records
+are identical for any ``n_workers``.
 """
 
 from __future__ import annotations
 
 from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.parallel import parallel_map, spawn_seeds
 from repro.analysis.tables import render_table
 from repro.core.hierarchy import paper_two_level_model
 from repro.core.resubmission import solve_resubmission_equilibrium
@@ -24,36 +29,46 @@ __all__ = ["run"]
 _RATES = (0.2, 0.4, 0.6, 0.8, 1.0)
 
 
+def _resubmission_cell(spec: dict) -> dict[str, object]:
+    """Worker: one rate of the sweep (module-level, picklable)."""
+    network = build_network(
+        "full", spec["N"], spec["N"], spec["B"]
+    )
+    model = paper_two_level_model(spec["N"], rate=spec["r"])
+    drop = analytic_bandwidth(network, model)
+    equilibrium = solve_resubmission_equilibrium(
+        model, lambda m: analytic_bandwidth(network, m)
+    )
+    simulated = ResubmissionSimulator(network, model, seed=spec["seed"]).run(
+        spec["n_cycles"]
+    )
+    return {
+        "r": spec["r"],
+        "drop MBW (paper)": round(drop, 3),
+        "resub MBW analytic": round(equilibrium.bandwidth, 3),
+        "resub MBW simulated": round(simulated.bandwidth, 3),
+        "alpha analytic": round(equilibrium.effective_rate, 3),
+        "alpha simulated": round(simulated.effective_rate, 3),
+        "wait analytic": round(equilibrium.mean_wait_cycles, 2),
+        "wait simulated": round(simulated.mean_wait_cycles, 2),
+    }
+
+
 def run(
     n_processors: int = 16,
     n_buses: int = 4,
     n_cycles: int = 15_000,
     seed: int = 5,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Sweep nominal rates on a full connection network."""
-    network = build_network("full", n_processors, n_processors, n_buses)
-    records: list[dict[str, object]] = []
-    for rate in _RATES:
-        model = paper_two_level_model(n_processors, rate=rate)
-        drop = analytic_bandwidth(network, model)
-        equilibrium = solve_resubmission_equilibrium(
-            model, lambda m: analytic_bandwidth(network, m)
-        )
-        simulated = ResubmissionSimulator(network, model, seed=seed).run(
-            n_cycles
-        )
-        records.append(
-            {
-                "r": rate,
-                "drop MBW (paper)": round(drop, 3),
-                "resub MBW analytic": round(equilibrium.bandwidth, 3),
-                "resub MBW simulated": round(simulated.bandwidth, 3),
-                "alpha analytic": round(equilibrium.effective_rate, 3),
-                "alpha simulated": round(simulated.effective_rate, 3),
-                "wait analytic": round(equilibrium.mean_wait_cycles, 2),
-                "wait simulated": round(simulated.mean_wait_cycles, 2),
-            }
-        )
+    cells = [
+        {"N": n_processors, "B": n_buses, "r": rate, "n_cycles": n_cycles}
+        for rate in _RATES
+    ]
+    for cell, cell_seed in zip(cells, spawn_seeds(seed, len(cells))):
+        cell["seed"] = cell_seed
+    records = parallel_map(_resubmission_cell, cells, n_workers=n_workers)
     rendered = render_table(
         records,
         title=(

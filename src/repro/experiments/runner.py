@@ -45,11 +45,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="emit machine-readable JSON instead of rendered tables",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "process count for simulation-backed experiments "
+            "(default: serial; results are identical for any N)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requested = list(args.experiments)
     if requested == ["all"] or requested == []:
         requested = sorted(EXPERIMENTS)
+    run_kwargs = {}
+    if args.workers is not None:
+        run_kwargs["n_workers"] = args.workers
 
     if args.json:
         import json
@@ -57,7 +70,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         payload = []
         failed = False
         for experiment_id in requested:
-            result = run_experiment(experiment_id)
+            result = run_experiment(experiment_id, **run_kwargs)
             ok = result.all_within_tolerance()
             failed = failed or not ok
             payload.append(
@@ -75,7 +88,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     failed = False
     for experiment_id in requested:
-        result = run_experiment(experiment_id)
+        result = run_experiment(experiment_id, **run_kwargs)
         if not args.quiet:
             print(f"=== {result.title} ===")
             print(result.rendered)

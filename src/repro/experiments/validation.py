@@ -18,6 +18,11 @@ This experiment therefore validates in two modes:
   measured gap *is* the binomial-independence approximation error, which
   this experiment quantifies (about 1-2% at the paper's sizes, shrinking
   to zero as B approaches M).
+
+Each (config, mode) cell simulates under its own
+:class:`~numpy.random.SeedSequence` child spawned by cell index from the
+experiment seed, so results are bit-identical whether cells run serially
+or across ``n_workers`` processes.
 """
 
 from __future__ import annotations
@@ -25,9 +30,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.parallel import parallel_map, spawn_seeds
 from repro.analysis.sweep import paper_model_pair
 from repro.analysis.tables import render_table
-from repro.core.request_models import MatrixRequestModel, RequestModel
+from repro.core.request_models import MatrixRequestModel
 from repro.experiments.base import ExperimentResult
 from repro.simulation.engine import MultiprocessorSimulator
 from repro.topology.factory import build_network
@@ -42,6 +48,8 @@ _CONFIGS = (
     ("kclass", 16, 4, {}),
     ("crossbar", 8, 8, {}),
 )
+
+_MODES = ("independence", "processor")
 
 
 def independence_workload(
@@ -58,58 +66,54 @@ def independence_workload(
     )
 
 
-def _simulate(
-    scheme: str, n: int, b: int, kwargs: dict, model: RequestModel,
-    n_cycles: int, seed: int,
-):
+def _validation_cell(spec: dict) -> dict[str, object]:
+    """Worker: simulate one (config, mode) cell (module-level, picklable)."""
+    scheme, n, b, kwargs = spec["config"]
     network = build_network(scheme, n, n, b, **kwargs)
-    simulator = MultiprocessorSimulator(network, model, seed=seed)
-    return network, simulator.run(n_cycles)
-
-
-def run(n_cycles: int = 40_000, seed: int = 2024) -> ExperimentResult:
-    """Run both validation modes over representative configurations."""
-    records: list[dict[str, object]] = []
-    for scheme, n, b, kwargs in _CONFIGS:
-        hier = paper_model_pair(n, 1.0)["hier"]
-        x = hier.symmetric_module_probability()
-        network = build_network(scheme, n, n, b, **kwargs)
-        analytic = analytic_bandwidth(network, hier)
-
-        # Mode 1: independence workload — formulas are exact.
-        indep = independence_workload(n, x)
-        _, result = _simulate(
-            scheme, n, b, kwargs, indep, n_cycles, seed
-        )
-        records.append(
-            {
-                "scheme": scheme,
-                "N": n,
-                "B": b,
-                "mode": "independence",
-                "analytic": round(analytic, 4),
-                "simulated": round(result.bandwidth, 4),
-                "ci95": round(result.bandwidth_ci95, 4),
-                "agrees": result.agrees_with(analytic, slack=0.01),
-            }
-        )
-
-        # Mode 2: processor-driven workload — measures the approximation.
-        _, result = _simulate(scheme, n, b, kwargs, hier, n_cycles, seed + 1)
+    hier = paper_model_pair(n, 1.0)["hier"]
+    analytic = analytic_bandwidth(network, hier)
+    if spec["mode"] == "independence":
+        model = independence_workload(n, hier.symmetric_module_probability())
+    else:
+        model = hier
+    simulator = MultiprocessorSimulator(
+        network, model, seed=spec["seed"], backend=spec["backend"]
+    )
+    result = simulator.run(spec["n_cycles"])
+    record: dict[str, object] = {
+        "scheme": scheme,
+        "N": n,
+        "B": b,
+        "mode": spec["mode"],
+        "analytic": round(analytic, 4),
+        "simulated": round(result.bandwidth, 4),
+        "ci95": round(result.bandwidth_ci95, 4),
+    }
+    if spec["mode"] == "independence":
+        record["agrees"] = result.agrees_with(analytic, slack=0.01)
+    else:
         gap = result.bandwidth - analytic
-        records.append(
-            {
-                "scheme": scheme,
-                "N": n,
-                "B": b,
-                "mode": "processor",
-                "analytic": round(analytic, 4),
-                "simulated": round(result.bandwidth, 4),
-                "ci95": round(result.bandwidth_ci95, 4),
-                "approx_error": round(gap, 4),
-                "rel_error": round(gap / analytic, 4),
-            }
-        )
+        record["approx_error"] = round(gap, 4)
+        record["rel_error"] = round(gap / analytic, 4)
+    return record
+
+
+def run(
+    n_cycles: int = 40_000,
+    seed: int = 2024,
+    n_workers: int | None = None,
+    backend: str = "auto",
+) -> ExperimentResult:
+    """Run both validation modes over representative configurations."""
+    cells = [
+        {"config": config, "mode": mode, "n_cycles": n_cycles,
+         "backend": backend}
+        for config in _CONFIGS
+        for mode in _MODES
+    ]
+    for cell, cell_seed in zip(cells, spawn_seeds(seed, len(cells))):
+        cell["seed"] = cell_seed
+    records = parallel_map(_validation_cell, cells, n_workers=n_workers)
 
     rendered = render_table(
         records,

@@ -1,17 +1,39 @@
 """Cycle-level Monte-Carlo simulation of multiple bus multiprocessors."""
 
-from repro.simulation.engine import MultiprocessorSimulator, simulate_bandwidth
-from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.engine import (
+    MultiprocessorSimulator,
+    derive_streams,
+    simulate_bandwidth,
+)
+from repro.simulation.metrics import (
+    MetricsCollector,
+    SimulationResult,
+    batch_means_ci95,
+    result_from_arrays,
+)
 from repro.simulation.resubmission import (
     ResubmissionResult,
     ResubmissionSimulator,
+)
+from repro.simulation.vectorized import (
+    BatchTrace,
+    check_batch_invariants,
+    run_vectorized,
+    vectorization_unsupported_reason,
 )
 
 __all__ = [
     "MultiprocessorSimulator",
     "simulate_bandwidth",
+    "derive_streams",
     "MetricsCollector",
     "SimulationResult",
+    "batch_means_ci95",
+    "result_from_arrays",
     "ResubmissionSimulator",
     "ResubmissionResult",
+    "BatchTrace",
+    "run_vectorized",
+    "check_batch_invariants",
+    "vectorization_unsupported_reason",
 ]

@@ -9,6 +9,23 @@ vanish.  Because the analytical formulas (eqs. 4, 6, 9, 12) were derived
 under exactly these rules, simulation and closed form must agree within
 Monte-Carlo noise wherever the analysis is exact — the validation
 experiment (E9) checks precisely that.
+
+Two execution backends share this front end:
+
+* ``"loop"`` — the reference implementation: one Python iteration per
+  cycle through the arbitration objects of :mod:`repro.arbitration`.
+* ``"vectorized"`` — the NumPy batch backend
+  (:mod:`repro.simulation.vectorized`): all cycles resolved as dense
+  array operations, one to two orders of magnitude faster.
+* ``"auto"`` (default) — ``"vectorized"`` whenever the workload and
+  topology support it, ``"loop"`` otherwise (custom policies, trace
+  replay, fault-degraded topologies).
+
+Both backends derive *separate* request-generation and arbitration RNG
+streams from the seed via :class:`numpy.random.SeedSequence`, so for the
+same seed they observe bit-identical request streams; per-cycle grant
+counts (and hence bandwidth) then agree exactly, which the equivalence
+test suite locks down.
 """
 
 from __future__ import annotations
@@ -18,12 +35,36 @@ import numpy as np
 from repro.arbitration import BusAssignmentPolicy, assignment_for
 from repro.arbitration.memory_arbiter import resolve_memory_contention
 from repro.core.request_models import RequestModel
-from repro.exceptions import SimulationError
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.vectorized import (
+    run_vectorized,
+    vectorization_unsupported_reason,
+)
 from repro.topology.network import MultipleBusNetwork
 from repro.workloads.generator import ModelRequestGenerator, RequestGenerator
 
-__all__ = ["MultiprocessorSimulator", "simulate_bandwidth"]
+__all__ = ["MultiprocessorSimulator", "simulate_bandwidth", "derive_streams"]
+
+_BACKENDS = ("auto", "loop", "vectorized")
+
+
+def derive_streams(
+    seed: int | np.random.SeedSequence | None,
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """Derive the (generation, arbitration) RNG pair from one seed.
+
+    Both backends draw request generation and arbitration randomness
+    from two independently spawned children of the same
+    :class:`~numpy.random.SeedSequence`, so the request stream a seed
+    produces is backend-independent (arbitration never perturbs it).
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    generation, arbitration = root.spawn(2)
+    return np.random.default_rng(generation), np.random.default_rng(arbitration)
 
 
 class MultiprocessorSimulator:
@@ -41,9 +82,18 @@ class MultiprocessorSimulator:
     policy:
         Optional stage-two bus assignment override; defaults to the
         paper's policy for the network's scheme
-        (:func:`repro.arbitration.assignment_for`).
+        (:func:`repro.arbitration.assignment_for`).  Setting one forces
+        the loop backend.
     seed:
-        Seed for the simulation's random generator.
+        Seed for the simulation's random streams — an int, ``None`` (OS
+        entropy) or a :class:`~numpy.random.SeedSequence` (as produced
+        by :func:`repro.analysis.parallel.spawn_seeds` for independent
+        sweep cells).
+    backend:
+        ``"auto"`` (default), ``"loop"`` or ``"vectorized"`` — see the
+        module docstring.  ``"vectorized"`` raises
+        :class:`~repro.exceptions.SimulationError` when the
+        workload/topology/policy combination is not vectorizable.
     """
 
     def __init__(
@@ -51,7 +101,8 @@ class MultiprocessorSimulator:
         network: MultipleBusNetwork,
         workload: RequestModel | RequestGenerator,
         policy: BusAssignmentPolicy | None = None,
-        seed: int | None = None,
+        seed: int | np.random.SeedSequence | None = None,
+        backend: str = "auto",
     ):
         if isinstance(workload, RequestModel):
             workload = ModelRequestGenerator(workload)
@@ -65,6 +116,11 @@ class MultiprocessorSimulator:
                 f"workload addresses {workload.n_memories} modules but the "
                 f"network has {network.n_memories}"
             )
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        custom_policy = policy is not None
         if policy is None:
             policy = assignment_for(network)
         if policy.n_buses != network.n_buses:
@@ -73,10 +129,23 @@ class MultiprocessorSimulator:
                 f"has {network.n_buses}"
             )
         network.validate()
+
+        reason = (
+            "a custom stage-two policy is set (only the paper's default "
+            "arbiters are vectorized)"
+            if custom_policy
+            else vectorization_unsupported_reason(network, workload)
+        )
+        if backend == "vectorized" and reason is not None:
+            raise SimulationError(f"backend='vectorized' unavailable: {reason}")
+        if backend == "auto":
+            backend = "loop" if reason is not None else "vectorized"
+
         self._network = network
         self._generator = workload
         self._policy = policy
         self._seed = seed
+        self._backend = backend
 
     @property
     def network(self) -> MultipleBusNetwork:
@@ -85,8 +154,13 @@ class MultiprocessorSimulator:
 
     @property
     def policy(self) -> BusAssignmentPolicy:
-        """The stage-two bus assignment policy in use."""
+        """The stage-two bus assignment policy in use (loop backend)."""
         return self._policy
+
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend: ``"loop"`` or ``"vectorized"``."""
+        return self._backend
 
     def run(self, n_cycles: int, warmup: int = 0) -> SimulationResult:
         """Simulate ``warmup + n_cycles`` cycles and return statistics.
@@ -100,7 +174,26 @@ class MultiprocessorSimulator:
             raise SimulationError(f"need at least one cycle, got {n_cycles}")
         if warmup < 0:
             raise SimulationError(f"warmup must be >= 0, got {warmup}")
-        rng = np.random.default_rng(self._seed)
+        generation_rng, arbitration_rng = derive_streams(self._seed)
+        if self._backend == "vectorized":
+            return run_vectorized(
+                self._network,
+                self._generator,
+                n_cycles,
+                warmup,
+                generation_rng,
+                arbitration_rng,
+            )
+        return self._run_loop(n_cycles, warmup, generation_rng, arbitration_rng)
+
+    def _run_loop(
+        self,
+        n_cycles: int,
+        warmup: int,
+        generation_rng: np.random.Generator,
+        arbitration_rng: np.random.Generator,
+    ) -> SimulationResult:
+        """Reference per-cycle implementation."""
         self._policy.reset()
         collector = MetricsCollector(
             self._network.n_processors,
@@ -109,10 +202,12 @@ class MultiprocessorSimulator:
         )
         n_memories = self._network.n_memories
         for cycle, requests in enumerate(
-            self._generator.cycles(warmup + n_cycles, rng)
+            self._generator.cycles(warmup + n_cycles, generation_rng)
         ):
-            winners = resolve_memory_contention(requests, n_memories, rng)
-            grants = self._policy.assign(sorted(winners), rng)
+            winners = resolve_memory_contention(
+                requests, n_memories, arbitration_rng
+            )
+            grants = self._policy.assign(sorted(winners), arbitration_rng)
             self._check_grants(grants, winners)
             if cycle >= warmup:
                 collector.record(requests, winners, grants)
@@ -152,9 +247,20 @@ def simulate_bandwidth(
     network: MultipleBusNetwork,
     workload: RequestModel | RequestGenerator,
     n_cycles: int = 20_000,
-    seed: int | None = 0,
+    seed: int | np.random.SeedSequence | None = 0,
+    backend: str = "auto",
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`MultiprocessorSimulator`.
+
+    .. warning::
+       The default ``seed=0`` makes each call reproducible, but it also
+       means *every* default-seeded call shares the same underlying
+       random streams: summing or comparing many default-seeded runs
+       silently correlates their noise.  For independent replications or
+       sweep cells, pass ``seed=None`` (OS entropy) or derive one
+       :class:`~numpy.random.SeedSequence` per cell with
+       :func:`repro.analysis.parallel.spawn_seeds` — which is exactly
+       what the parallel sweep executor does.
 
     >>> from repro.topology import FullBusMemoryNetwork
     >>> from repro.core import UniformRequestModel
@@ -163,4 +269,6 @@ def simulate_bandwidth(
     >>> 3.0 < res.bandwidth < 4.2
     True
     """
-    return MultiprocessorSimulator(network, workload, seed=seed).run(n_cycles)
+    return MultiprocessorSimulator(
+        network, workload, seed=seed, backend=backend
+    ).run(n_cycles)

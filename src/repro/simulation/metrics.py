@@ -5,6 +5,13 @@ number of successful requests per cycle, directly comparable to the
 closed forms of :mod:`repro.core.bandwidth`.  Batch-means confidence
 intervals let the validation experiment (E9) state agreement or
 disagreement with the analytics rather than eyeballing noise.
+
+Two producers build :class:`SimulationResult`: the per-cycle
+:class:`MetricsCollector` used by the loop backend, and
+:func:`result_from_arrays` used by the vectorized batch backend
+(:mod:`repro.simulation.vectorized`).  Both reduce with the same
+:func:`batch_means_ci95`, so identical per-cycle grant counts yield
+bit-identical headline statistics regardless of the backend.
 """
 
 from __future__ import annotations
@@ -16,7 +23,12 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 
-__all__ = ["MetricsCollector", "SimulationResult"]
+__all__ = [
+    "MetricsCollector",
+    "SimulationResult",
+    "batch_means_ci95",
+    "result_from_arrays",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +57,13 @@ class SimulationResult:
     processor_success_rates:
         Per-processor successful requests per cycle (length ``N``) — the
         fairness view; under symmetric models all entries should agree.
+    grant_counts:
+        Successful requests in each measured cycle (length
+        :attr:`n_cycles`).  Because the grant *count* per cycle is a
+        deterministic function of the requested-module set for every
+        work-conserving arbiter, this sequence is the backend-agnostic
+        fingerprint of a run — the vectorized/loop equivalence tests
+        compare it element-wise.
     """
 
     n_cycles: int
@@ -55,6 +74,7 @@ class SimulationResult:
     bus_utilization: tuple[float, ...]
     module_service_rates: tuple[float, ...]
     processor_success_rates: tuple[float, ...]
+    grant_counts: tuple[int, ...] | None = None
 
     def agrees_with(self, analytic: float, slack: float = 0.0) -> bool:
         """True when ``analytic`` lies inside the 95% CI (plus ``slack``)."""
@@ -67,6 +87,62 @@ class SimulationResult:
             f"(95% CI, {self.n_cycles} cycles), "
             f"acceptance = {self.acceptance_probability:.4f}"
         )
+
+
+def batch_means_ci95(grants: np.ndarray, n_batches: int = 20) -> float:
+    """95% CI half-width of the mean of ``grants`` via batch means.
+
+    Falls back to the plain iid standard error when there are too few
+    cycles to form ``2 * n_batches`` batches, and to ``inf`` below two
+    cycles.  Shared by both simulation backends so equal grant sequences
+    produce bit-identical intervals.
+    """
+    grants = np.asarray(grants, dtype=float)
+    n = len(grants)
+    if n < 2 * n_batches:
+        if n < 2:
+            return float("inf")
+        return 1.96 * float(grants.std(ddof=1)) / math.sqrt(n)
+    batch_size = n // n_batches
+    usable = batch_size * n_batches
+    batches = grants[:usable].reshape(n_batches, batch_size).mean(axis=1)
+    stderr = float(batches.std(ddof=1)) / math.sqrt(n_batches)
+    return 1.96 * stderr
+
+
+def result_from_arrays(
+    grant_counts: np.ndarray,
+    requests_issued: int,
+    bus_busy: np.ndarray,
+    module_served: np.ndarray,
+    processor_served: np.ndarray,
+) -> SimulationResult:
+    """Build a :class:`SimulationResult` from whole-run count arrays.
+
+    ``grant_counts`` holds the per-measured-cycle successful request
+    counts; the remaining arguments are total counts per bus / module /
+    processor.  Used by the vectorized backend, which accumulates these
+    arrays in bulk instead of cycle by cycle.
+    """
+    n = len(grant_counts)
+    if n == 0:
+        raise SimulationError("no cycles recorded")
+    grants = np.asarray(grant_counts, dtype=float)
+    bandwidth = float(grants.mean())
+    acceptance = (
+        float(grants.sum() / requests_issued) if requests_issued else 0.0
+    )
+    return SimulationResult(
+        n_cycles=n,
+        bandwidth=bandwidth,
+        bandwidth_ci95=batch_means_ci95(grants),
+        requests_per_cycle=requests_issued / n,
+        acceptance_probability=acceptance,
+        bus_utilization=tuple(np.asarray(bus_busy) / n),
+        module_service_rates=tuple(np.asarray(module_served) / n),
+        processor_success_rates=tuple(np.asarray(processor_served) / n),
+        grant_counts=tuple(np.asarray(grant_counts).tolist()),
+    )
 
 
 class MetricsCollector:
@@ -119,36 +195,12 @@ class MetricsCollector:
         Raises :class:`~repro.exceptions.SimulationError` when no cycle
         was recorded.
         """
-        n = len(self._grants_per_cycle)
-        if n == 0:
+        if not self._grants_per_cycle:
             raise SimulationError("no cycles recorded")
-        grants = np.asarray(self._grants_per_cycle, dtype=float)
-        bandwidth = float(grants.mean())
-        ci95 = self._batch_means_ci(grants)
-        issued = self._requests_issued
-        acceptance = float(grants.sum() / issued) if issued else 0.0
-        return SimulationResult(
-            n_cycles=n,
-            bandwidth=bandwidth,
-            bandwidth_ci95=ci95,
-            requests_per_cycle=issued / n,
-            acceptance_probability=acceptance,
-            bus_utilization=tuple(self._bus_busy / n),
-            module_service_rates=tuple(self._module_served / n),
-            processor_success_rates=tuple(self._processor_served / n),
+        return result_from_arrays(
+            np.asarray(self._grants_per_cycle, dtype=np.int64),
+            self._requests_issued,
+            self._bus_busy,
+            self._module_served,
+            self._processor_served,
         )
-
-    def _batch_means_ci(self, grants: np.ndarray) -> float:
-        """95% CI half-width via batch means (cycles are iid here anyway)."""
-        n = len(grants)
-        if n < 2 * self._N_BATCHES:
-            # Too few cycles for batching: fall back to the plain standard
-            # error of iid per-cycle counts.
-            if n < 2:
-                return float("inf")
-            return 1.96 * float(grants.std(ddof=1)) / math.sqrt(n)
-        batch_size = n // self._N_BATCHES
-        usable = batch_size * self._N_BATCHES
-        batches = grants[:usable].reshape(self._N_BATCHES, batch_size).mean(axis=1)
-        stderr = float(batches.std(ddof=1)) / math.sqrt(self._N_BATCHES)
-        return 1.96 * stderr

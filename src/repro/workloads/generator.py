@@ -52,7 +52,11 @@ class ModelRequestGenerator(RequestGenerator):
     a simple request list.
     """
 
-    #: Cycles drawn per vectorized block.
+    #: Cycles drawn per vectorized block.  Both :meth:`cycles` and
+    #: :meth:`request_arrays` consume the generator in blocks of exactly
+    #: this size, so the two access paths see bit-identical request
+    #: streams for the same ``rng`` state — the property the vectorized
+    #: simulation backend's equivalence tests rely on.
     _BLOCK = 1024
 
     def __init__(self, model: RequestModel):
@@ -65,6 +69,50 @@ class ModelRequestGenerator(RequestGenerator):
         # for any uniform draw in [0, 1).
         self._cumulative[:, -1] = 1.0
 
+    def _draw_block(
+        self, block: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one block: ``(issues, chosen)`` arrays of shape (block, N)."""
+        issues = rng.random((block, self._n_processors)) < self._rate
+        draws = rng.random((block, self._n_processors))
+        # Module choice by inverse-CDF per processor row, all rows at
+        # once: counting the cumulative-fraction entries <= draw equals
+        # searchsorted(cumulative[i], draw, side="right").
+        chosen = (
+            (draws[:, :, None] >= self._cumulative[None, :, :])
+            .sum(axis=2, dtype=np.int64)
+        )
+        np.clip(chosen, 0, self._n_memories - 1, out=chosen)
+        return issues, chosen
+
+    def request_arrays(
+        self, n_cycles: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n_cycles`` cycles at once as dense arrays.
+
+        Returns ``(issues, chosen)``: a boolean ``(n_cycles, N)`` issue
+        mask and an int64 ``(n_cycles, N)`` matrix of addressed modules
+        (meaningful only where ``issues`` is true).  Consumes ``rng``
+        exactly like :meth:`cycles` does, block by block, so a loop-based
+        and an array-based consumer starting from the same generator
+        state observe the same requests.
+        """
+        if n_cycles < 0:
+            raise SimulationError(f"cycle count must be >= 0, got {n_cycles}")
+        issue_blocks: list[np.ndarray] = []
+        chosen_blocks: list[np.ndarray] = []
+        remaining = n_cycles
+        while remaining > 0:
+            block = min(self._BLOCK, remaining)
+            remaining -= block
+            issues, chosen = self._draw_block(block, rng)
+            issue_blocks.append(issues)
+            chosen_blocks.append(chosen)
+        if not issue_blocks:
+            shape = (0, self._n_processors)
+            return np.zeros(shape, dtype=bool), np.zeros(shape, dtype=np.int64)
+        return np.concatenate(issue_blocks), np.concatenate(chosen_blocks)
+
     def cycles(
         self, n_cycles: int, rng: np.random.Generator
     ) -> Iterator[list[tuple[int, int]]]:
@@ -75,15 +123,7 @@ class ModelRequestGenerator(RequestGenerator):
         while remaining > 0:
             block = min(self._BLOCK, remaining)
             remaining -= block
-            issues = rng.random((block, self._n_processors)) < self._rate
-            draws = rng.random((block, self._n_processors))
-            # Module choice by inverse-CDF per processor row.
-            chosen = np.empty((block, self._n_processors), dtype=np.int64)
-            for i in range(self._n_processors):
-                chosen[:, i] = np.searchsorted(
-                    self._cumulative[i], draws[:, i], side="right"
-                )
-            np.clip(chosen, 0, self._n_memories - 1, out=chosen)
+            issues, chosen = self._draw_block(block, rng)
             for c in range(block):
                 active = processors[issues[c]]
                 yield [(int(p), int(chosen[c, p])) for p in active]

@@ -1,0 +1,87 @@
+"""Seed handling: reproducibility, stream derivation and independence.
+
+The simulator's contract is bit-level: the same seed reproduces the
+same :class:`~repro.simulation.metrics.SimulationResult` (a frozen
+dataclass, so ``==`` compares every field including the per-cycle grant
+counts), different seeds give different runs, and
+:func:`~repro.simulation.engine.derive_streams` splits one seed into
+generation/arbitration streams deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.parallel import spawn_seeds
+from repro.analysis.sweep import paper_model_pair
+from repro.simulation.engine import (
+    MultiprocessorSimulator,
+    derive_streams,
+    simulate_bandwidth,
+)
+from repro.topology.factory import build_network
+
+N = 8
+B = 4
+CYCLES = 1200
+
+
+def _model():
+    return paper_model_pair(N, 1.0)["hier"]
+
+
+def _result(seed, backend="auto"):
+    network = build_network("full", N, N, B)
+    return MultiprocessorSimulator(
+        network, _model(), seed=seed, backend=backend
+    ).run(CYCLES)
+
+
+@pytest.mark.parametrize("backend", ["loop", "vectorized"])
+def test_same_seed_bit_identical(backend):
+    assert _result(17, backend) == _result(17, backend)
+
+
+def test_different_seeds_differ():
+    assert _result(17).grant_counts != _result(18).grant_counts
+
+
+def test_seed_sequence_accepted_and_deterministic():
+    seed = np.random.SeedSequence(99)
+    first = _result(seed)
+    second = _result(np.random.SeedSequence(99))
+    assert first == second
+    # An int seed routes through the same SeedSequence construction.
+    assert first == _result(99)
+
+
+def test_derive_streams_deterministic_and_split():
+    gen_a, arb_a = derive_streams(7)
+    gen_b, arb_b = derive_streams(7)
+    assert gen_a.random(5).tolist() == gen_b.random(5).tolist()
+    assert arb_a.random(5).tolist() == arb_b.random(5).tolist()
+    # Generation and arbitration streams are distinct children.
+    gen_c, arb_c = derive_streams(7)
+    assert gen_c.random(5).tolist() != arb_c.random(5).tolist()
+
+
+def test_simulate_bandwidth_default_seed_reproducible():
+    network = build_network("full", N, N, B)
+    assert simulate_bandwidth(network, _model(), 600) == simulate_bandwidth(
+        network, _model(), 600
+    )
+
+
+def test_spawned_cell_seeds_are_independent():
+    """Sweep cells under spawned seeds see unrelated random streams."""
+    seeds = spawn_seeds(0, 3)
+    results = [_result(seed) for seed in seeds]
+    assert results[0].grant_counts != results[1].grant_counts
+    assert results[1].grant_counts != results[2].grant_counts
+    # Spawning is itself deterministic: same root, same children.
+    again = [_result(seed) for seed in spawn_seeds(0, 3)]
+    assert results == again
+    # ...and index-stable under a larger spawn count.
+    wider = spawn_seeds(0, 5)
+    assert _result(wider[1]) == results[1]
