@@ -1,0 +1,118 @@
+"""Benchmark: the batched analytic engine vs the per-cell scalar path.
+
+Times a full ``B = 1..N`` bandwidth sweep (both rates, both paper
+models) three ways at ``N = M = 64`` and ``N = M = 256``:
+
+* ``scalar`` — the legacy per-cell loop: one network object and one
+  un-cached pmf per ``(B, r, model)`` cell;
+* ``batch_cold`` — :func:`repro.analysis.sweep.bandwidth_sweep` on an
+  empty pmf cache (whole-grid kernels, cache being populated);
+* ``batch_warm`` — the same sweep again with the cache populated.
+
+Asserts the PR's acceptance contract — >= 10x batch-vs-scalar speedup
+with every cell equal to 1e-9, and a > 90% pmf hit rate on the warm
+pass — and writes the timings to ``BENCH_analytic.json`` at the repo
+root for the CI artifact.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.sweep import bandwidth_sweep, paper_model_pair
+from repro.core.cache import pmf_cache
+from repro.exceptions import ConfigurationError
+from repro.topology.factory import build_network
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_analytic.json"
+
+RATES = (1.0, 0.5)
+SIZES = (64, 256)
+SCHEME = "full"
+
+
+def _scalar_sweep(n):
+    """The pre-batching per-cell path: no shared cache, one network per B."""
+    records = []
+    with pmf_cache.disabled():
+        for rate in RATES:
+            models = paper_model_pair(n, rate)
+            for n_buses in range(1, n + 1):
+                try:
+                    network = build_network(SCHEME, n, n, n_buses)
+                except ConfigurationError:
+                    continue
+                for name, model in models.items():
+                    records.append(
+                        {
+                            "scheme": SCHEME, "N": n, "M": n, "B": n_buses,
+                            "r": rate, "model": name,
+                            "bandwidth": analytic_bandwidth(network, model),
+                        }
+                    )
+    return records
+
+
+def _batch_sweep(n):
+    return bandwidth_sweep(
+        SCHEME, n, bus_counts=range(1, n + 1), rates=RATES
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_batched_engine_speedup(benchmark):
+    report = {}
+    for n in SIZES:
+        scalar_records, scalar_s = _timed(lambda n=n: _scalar_sweep(n))
+
+        pmf_cache.clear()
+        cold_records, cold_s = _timed(lambda n=n: _batch_sweep(n))
+        cold_info = pmf_cache.cache_info()
+
+        warm_records, warm_s = _timed(lambda n=n: _batch_sweep(n))
+        warm_info = pmf_cache.cache_info()
+
+        assert len(cold_records) == len(scalar_records)
+        worst = max(
+            abs(b["bandwidth"] - s["bandwidth"])
+            for b, s in zip(cold_records, scalar_records)
+        )
+        assert worst <= 1e-9, f"N={n}: batch deviates by {worst:.3e}"
+        assert warm_records == cold_records
+
+        warm_hits = warm_info.hits - cold_info.hits
+        warm_misses = warm_info.misses - cold_info.misses
+        hit_rate = warm_hits / max(warm_hits + warm_misses, 1)
+        assert hit_rate > 0.90, f"N={n}: warm hit rate {hit_rate:.2%}"
+
+        speedup = scalar_s / cold_s
+        assert speedup >= 10, (
+            f"N={n}: batch sweep only {speedup:.1f}x faster than scalar"
+        )
+        report[f"N{n}"] = {
+            "cells": len(cold_records),
+            "scalar_seconds": scalar_s,
+            "batch_cold_seconds": cold_s,
+            "batch_warm_seconds": warm_s,
+            "speedup_cold": speedup,
+            "speedup_warm": scalar_s / warm_s,
+            "warm_hit_rate": hit_rate,
+            "max_abs_diff_vs_scalar": worst,
+        }
+        print(
+            f"\nN=M={n}: scalar {scalar_s:.3f}s, batch cold {cold_s:.3f}s "
+            f"({speedup:.0f}x), warm {warm_s:.3f}s "
+            f"({scalar_s / warm_s:.0f}x), warm hit rate {hit_rate:.1%}"
+        )
+
+    # Timed artifact for pytest-benchmark: the warm sweep at the large size.
+    benchmark.pedantic(
+        lambda: _batch_sweep(SIZES[-1]), rounds=3, iterations=1
+    )
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")

@@ -6,7 +6,9 @@ the library (machines far beyond the paper's N = 32).
 
 import numpy as np
 
+from repro.analysis.batch import binomial_pmf_grid, tail_excess_all_buses
 from repro.core.bandwidth import bandwidth_full, bandwidth_full_heterogeneous
+from repro.core.binomial import binomial_pmf, tail_excess
 from repro.core.hierarchy import paper_two_level_model
 from repro.core.kclasses import bandwidth_kclass
 from repro.core.request_models import UniformRequestModel
@@ -31,6 +33,23 @@ def test_kclass_kernel_many_classes(benchmark):
     """Eq. (12) with K = 64 classes of 16 modules."""
     value = benchmark(bandwidth_kclass, [16] * 64, 64, 0.5)
     assert 0.0 < value <= 64.0
+
+
+def test_tail_excess_all_buses_kernel(benchmark):
+    """Every cap of a M = 8192 pmf from one reversed cumsum."""
+    pmf = binomial_pmf(8192, 0.613)
+    excess = benchmark(tail_excess_all_buses, pmf)
+    assert excess.shape == pmf.shape
+    for cap in (0, 1, 4096, 8192):
+        assert abs(excess[cap] - tail_excess(pmf, cap)) < 1e-9
+
+
+def test_binomial_pmf_grid_kernel(benchmark):
+    """256 rate rows of Binomial(2048, p) in one broadcast gammaln pass."""
+    ps = np.linspace(0.001, 0.999, 256)
+    grid = benchmark(binomial_pmf_grid, 2048, ps)
+    assert grid.shape == (256, 2049)
+    assert np.allclose(grid.sum(axis=1), 1.0, atol=1e-12)
 
 
 def test_hierarchy_fraction_matrix(benchmark):

@@ -35,7 +35,9 @@ Package map:
 from repro.analysis import (
     analytic_bandwidth,
     bandwidth_sweep,
+    bandwidth_sweep_with_skips,
     bus_count_sweep,
+    bus_count_sweep_with_skips,
     bus_utilization_profile,
     compare_schemes,
     min_buses_for_bandwidth,
@@ -44,6 +46,8 @@ from repro.analysis import (
     rate_for_crossbar_fraction,
     render_matrix,
     render_table,
+    scheme_bus_profile,
+    tail_excess_all_buses,
 )
 from repro.core import (
     FavoriteMemoryRequestModel,
@@ -58,6 +62,7 @@ from repro.core import (
     bandwidth_single,
     exact_bandwidth,
     paper_two_level_model,
+    pmf_cache,
     solve_resubmission_equilibrium,
 )
 from repro.exceptions import (
@@ -140,7 +145,12 @@ __all__ = [
     "degradation_curve",
     # analysis
     "bandwidth_sweep",
+    "bandwidth_sweep_with_skips",
     "bus_count_sweep",
+    "bus_count_sweep_with_skips",
+    "scheme_bus_profile",
+    "tail_excess_all_buses",
+    "pmf_cache",
     "compare_schemes",
     "render_table",
     "render_matrix",

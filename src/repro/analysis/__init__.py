@@ -1,5 +1,17 @@
 """Comparison, sweep and rendering utilities over the core analytics."""
 
+from repro.analysis.batch import (
+    BusProfile,
+    SkippedCell,
+    bandwidth_full_batch,
+    bandwidth_kclass_batch,
+    bandwidth_partial_batch,
+    bandwidth_single_batch,
+    binomial_pmf_grid,
+    scheme_bus_profile,
+    tail_excess_all_buses,
+    valid_bus_counts,
+)
 from repro.analysis.capacity import (
     bus_utilization_profile,
     min_buses_for_bandwidth,
@@ -15,8 +27,11 @@ from repro.analysis.parallel import (
     spawn_seeds,
 )
 from repro.analysis.sweep import (
+    SweepResult,
     bandwidth_sweep,
+    bandwidth_sweep_with_skips,
     bus_count_sweep,
+    bus_count_sweep_with_skips,
     paper_model_pair,
 )
 from repro.analysis.tables import render_matrix, render_table
@@ -24,7 +39,10 @@ from repro.analysis.tables import render_matrix, render_table
 __all__ = [
     "analytic_bandwidth",
     "bandwidth_sweep",
+    "bandwidth_sweep_with_skips",
     "bus_count_sweep",
+    "bus_count_sweep_with_skips",
+    "SweepResult",
     "paper_model_pair",
     "simulated_bandwidth_sweep",
     "parallel_map",
@@ -38,4 +56,14 @@ __all__ = [
     "min_buses_for_crossbar_fraction",
     "rate_for_crossbar_fraction",
     "bus_utilization_profile",
+    "tail_excess_all_buses",
+    "binomial_pmf_grid",
+    "bandwidth_full_batch",
+    "bandwidth_partial_batch",
+    "bandwidth_single_batch",
+    "bandwidth_kclass_batch",
+    "scheme_bus_profile",
+    "valid_bus_counts",
+    "BusProfile",
+    "SkippedCell",
 ]

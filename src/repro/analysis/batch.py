@@ -1,0 +1,553 @@
+"""Whole-grid analytic kernels: every bus count from one pmf.
+
+The per-cell scalar path evaluates eqs. (4), (6), (9) and (12) one
+``(scheme, B, r, model)`` cell at a time, recomputing the request-count
+pmf — which depends only on ``(M, X)`` — for every cell, and walking a
+Python loop over ``B``.  This module evaluates *vectors* of bus counts
+from a single cached pmf:
+
+* :func:`tail_excess_all_buses` — the subtracted term of eq. (4) for
+  every cap at once via one reversed cumulative sum (``E[max(I - c, 0)]
+  = sum_{k > c} P(I >= k)``), so a full ``B = 1..N`` sweep is O(M)
+  instead of O(N * M).
+* :func:`bandwidth_full_batch` / :func:`bandwidth_partial_batch` /
+  :func:`bandwidth_single_batch` / :func:`bandwidth_kclass_batch` — the
+  four schemes' closed forms over a vector of bus counts.
+* :func:`binomial_pmf_grid` — the 2-D ``(rate, count)`` pmf matrix for a
+  vector of request probabilities, one broadcast ``gammaln`` evaluation.
+* :func:`scheme_bus_profile` — the dispatch facade mirroring
+  :func:`repro.analysis.evaluate.analytic_bandwidth` (homogeneous and
+  heterogeneous paths) for a whole bus-count vector, without building a
+  network object per cell; structurally invalid counts are reported as
+  :class:`SkippedCell` records instead of silently disappearing.
+
+Every kernel matches its scalar counterpart to well below 1e-9 (the
+property suite in ``tests/analysis/test_batch.py`` pins 1e-12), so the
+golden table values are unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.core.binomial import validate_probability
+from repro.core.cache import cached_binomial_pmf, cached_poisson_binomial_pmf
+from repro.core.kclasses import bandwidth_kclass, class_request_pmfs
+from repro.core.request_models import RequestModel
+from repro.exceptions import ConfigurationError, ModelError
+from repro.topology.factory import build_network, equal_class_sizes
+
+__all__ = [
+    "tail_excess_all_buses",
+    "binomial_pmf_grid",
+    "bandwidth_full_batch",
+    "bandwidth_partial_batch",
+    "bandwidth_single_batch",
+    "bandwidth_kclass_batch",
+    "SkippedCell",
+    "BusProfile",
+    "valid_bus_counts",
+    "scheme_bus_profile",
+]
+
+
+# ----------------------------------------------------------------------
+# Distribution kernels
+# ----------------------------------------------------------------------
+
+
+def tail_excess_all_buses(pmf: np.ndarray) -> np.ndarray:
+    """Return ``E[max(I - c, 0)]`` for every cap ``c = 0..M`` at once.
+
+    Element ``c`` equals :func:`repro.core.binomial.tail_excess(pmf, c)`;
+    one reversed cumulative sum replaces ``M`` independent O(M) tail
+    sums, using the identity ``E[max(I - c, 0)] = sum_{k>c} P(I >= k)``.
+
+    Accepts a pmf vector of length ``M + 1`` or a 2-D matrix of row pmfs
+    (e.g. from :func:`binomial_pmf_grid`); caps index the last axis.
+    """
+    pmf = np.asarray(pmf, dtype=float)
+    # tail[..., k] = P(I >= k)
+    tail = np.cumsum(pmf[..., ::-1], axis=-1)[..., ::-1]
+    excess = np.zeros_like(pmf)
+    if pmf.shape[-1] > 1:
+        excess[..., :-1] = np.cumsum(tail[..., :0:-1], axis=-1)[..., ::-1]
+    return excess
+
+
+def binomial_pmf_grid(n: int, ps: Sequence[float]) -> np.ndarray:
+    """Return the ``(len(ps), n + 1)`` matrix of ``Binomial(n, p)`` pmfs.
+
+    Row ``k`` equals ``binomial_pmf(n, ps[k])``: the same log-space
+    evaluation, broadcast over the probability vector so a rate sweep
+    costs one ``gammaln`` pass instead of one per rate.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    ps = np.asarray(
+        [validate_probability(float(p), "p") for p in ps], dtype=float
+    )
+    if n == 0:
+        return np.ones((ps.size, 1))
+    grid = np.zeros((ps.size, n + 1))
+    i = np.arange(n + 1)
+    interior = (ps > 0.0) & (ps < 1.0)
+    if np.any(interior):
+        p = ps[interior][:, None]
+        log_comb = gammaln(n + 1) - gammaln(i + 1) - gammaln(n - i + 1)
+        log_pmf = log_comb + i * np.log(p) + (n - i) * np.log1p(-p)
+        rows = np.exp(log_pmf)
+        grid[interior] = rows / rows.sum(axis=1, keepdims=True)
+    grid[ps == 0.0, 0] = 1.0
+    grid[ps == 1.0, n] = 1.0
+    return grid
+
+
+# ----------------------------------------------------------------------
+# Per-scheme batch kernels
+# ----------------------------------------------------------------------
+
+
+def _bus_vector(bus_counts: Sequence[int]) -> np.ndarray:
+    bus = np.asarray(list(bus_counts), dtype=int)
+    if bus.size and int(bus.min()) < 1:
+        raise ConfigurationError(
+            f"need at least one bus, got {int(bus.min())}"
+        )
+    return bus
+
+
+def bandwidth_full_batch(
+    n_memories: int,
+    bus_counts: Sequence[int],
+    request_probability: float,
+) -> np.ndarray:
+    """Eq. (4) for a vector of bus counts from one cached pmf.
+
+    >>> import numpy as np
+    >>> from repro.core.bandwidth import bandwidth_full
+    >>> batch = bandwidth_full_batch(8, [2, 4, 8], 0.65639)
+    >>> bool(np.allclose(batch, [bandwidth_full(8, b, 0.65639)
+    ...                          for b in (2, 4, 8)]))
+    True
+    """
+    bus = _bus_vector(bus_counts)
+    x = validate_probability(request_probability, "X")
+    if n_memories < 1:
+        raise ConfigurationError(
+            f"need at least one memory module, got {n_memories}"
+        )
+    excess = tail_excess_all_buses(cached_binomial_pmf(n_memories, x))
+    return n_memories * x - excess[np.minimum(bus, n_memories)]
+
+
+def bandwidth_partial_batch(
+    n_memories: int,
+    bus_counts: Sequence[int],
+    n_groups: int,
+    request_probability: float,
+) -> np.ndarray:
+    """Eq. (9) for a vector of bus counts, all divisible by ``g``."""
+    bus = _bus_vector(bus_counts)
+    if n_groups < 1:
+        raise ConfigurationError(f"need at least one group, got {n_groups}")
+    if n_memories % n_groups:
+        raise ConfigurationError(
+            f"g={n_groups} must divide the module count M={n_memories}"
+        )
+    if bus.size and np.any(bus % n_groups):
+        bad = int(bus[np.flatnonzero(bus % n_groups)[0]])
+        raise ConfigurationError(
+            f"g={n_groups} must divide the bus count B={bad}"
+        )
+    per_group = n_memories // n_groups
+    x = validate_probability(request_probability, "X")
+    excess = tail_excess_all_buses(cached_binomial_pmf(per_group, x))
+    per = per_group * x - excess[np.minimum(bus // n_groups, per_group)]
+    return n_groups * per
+
+
+def bandwidth_single_batch(
+    n_memories: int,
+    bus_counts: Sequence[int],
+    request_probability: float,
+) -> np.ndarray:
+    """Eq. (6) with the balanced module layout, for a vector of bus counts.
+
+    Mirrors :class:`~repro.topology.single.SingleBusMemoryNetwork`'s
+    default assignment: ``M % B`` buses carry ``M // B + 1`` modules, the
+    rest ``M // B``.
+    """
+    bus = _bus_vector(bus_counts)
+    if n_memories < 1:
+        raise ConfigurationError(
+            f"need at least one memory module, got {n_memories}"
+        )
+    if bus.size and int(bus.max()) > n_memories:
+        raise ConfigurationError(
+            f"B={int(bus.max())} exceeds M={n_memories}"
+        )
+    x = validate_probability(request_probability, "X")
+    base = n_memories // bus
+    extra = n_memories % bus
+    if x < 1.0:
+        log_miss = np.log1p(-x)
+        y_base = -np.expm1(base * log_miss)
+        y_next = -np.expm1((base + 1) * log_miss)
+    else:
+        y_base = (base > 0).astype(float)
+        y_next = np.ones_like(base, dtype=float)
+    return extra * y_next + (bus - extra) * y_base
+
+
+def bandwidth_kclass_batch(
+    class_sizes: Sequence[int],
+    bus_counts: Sequence[int],
+    request_probability: float | Sequence[float],
+) -> np.ndarray:
+    """Eq. (12) for fixed classes over a vector of bus counts ``B >= K``.
+
+    Eq. (11)'s busy probability for bus ``i`` under ``B`` buses depends
+    only on ``a = i + K - B``, so the ``Y`` values for every bus of every
+    requested count are one table indexed by ``a``, and each bandwidth is
+    a suffix sum of that table — O(B_max * K) for the whole vector
+    instead of per count.
+    """
+    bus = _bus_vector(bus_counts)
+    sizes = [int(s) for s in class_sizes]
+    if not sizes:
+        raise ConfigurationError("need at least one memory class")
+    if any(s < 0 for s in sizes):
+        raise ConfigurationError(f"class sizes must be non-negative: {sizes}")
+    if sum(sizes) < 1:
+        raise ConfigurationError("classes must hold at least one module")
+    n_classes = len(sizes)
+    if bus.size == 0:
+        return np.empty(0)
+    if int(bus.min()) < n_classes:
+        raise ConfigurationError(
+            f"K={n_classes} classes require K <= B={int(bus.min())} buses"
+        )
+    cdfs = [
+        np.cumsum(pmf)
+        for pmf in class_request_pmfs(sizes, request_probability)
+    ]
+    b_max = int(bus.max())
+    # ys[t] = Y(a) with a = K - b_max + 1 + t; under B buses, bus i has
+    # a = i + K - B, so its Y values are the last B entries of ys.
+    ys = np.empty(b_max)
+    for t, a in enumerate(range(n_classes - b_max + 1, n_classes + 1)):
+        idle = 1.0
+        for j in range(max(a, 1), n_classes + 1):
+            cdf = cdfs[j - 1]
+            idle *= float(cdf[min(j - a, len(cdf) - 1)])
+        ys[t] = 1.0 - idle
+    suffix = np.cumsum(ys[::-1])  # suffix[b - 1] = sum of the last b Y's
+    return suffix[bus - 1]
+
+
+# ----------------------------------------------------------------------
+# Validity and the dispatch facade
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SkippedCell:
+    """One structurally invalid ``(scheme, B)`` sweep cell and why."""
+
+    scheme: str
+    n_buses: int
+    reason: str
+
+
+@dataclasses.dataclass
+class BusProfile:
+    """Bandwidth per feasible bus count, plus the audited skips."""
+
+    values: dict[int, float]
+    skipped: list[SkippedCell]
+
+
+#: Scheme-specific kwargs each batch path understands; anything else
+#: falls back to per-cell construction through the topology objects.
+_BATCHABLE_KWARGS = {
+    "full": frozenset(),
+    "single": frozenset(),
+    "partial": frozenset({"n_groups"}),
+    "kclass": frozenset({"class_sizes"}),
+    "crossbar": frozenset(),
+}
+
+
+def valid_bus_counts(
+    scheme: str,
+    n_memories: int,
+    bus_counts: Sequence[int],
+    **network_kwargs,
+) -> tuple[list[int], list[SkippedCell]]:
+    """Split ``bus_counts`` into feasible counts and audited skips.
+
+    Mirrors the constructor validation of the topology classes (the
+    structural source of truth) without instantiating one network per
+    count: base ``1 <= B <= M``, group divisibility for ``partial``,
+    ``K <= B`` for explicit K-class sizes.  ``crossbar`` ignores ``B``
+    entirely, matching :func:`repro.topology.factory.build_network`.
+    """
+    valid: list[int] = []
+    skipped: list[SkippedCell] = []
+    n_groups = network_kwargs.get("n_groups", 2)
+    class_sizes = network_kwargs.get("class_sizes")
+    for b in bus_counts:
+        b = int(b)
+        if scheme == "crossbar":
+            valid.append(b)
+            continue
+        if b < 1:
+            skipped.append(
+                SkippedCell(scheme, b, f"need at least one bus, got {b}")
+            )
+            continue
+        if b > n_memories:
+            skipped.append(
+                SkippedCell(
+                    scheme,
+                    b,
+                    f"B={b} exceeds M={n_memories}; buses beyond the "
+                    "module count can never carry a transfer",
+                )
+            )
+            continue
+        if scheme == "partial":
+            if n_memories % n_groups:
+                skipped.append(
+                    SkippedCell(
+                        scheme,
+                        b,
+                        f"g={n_groups} must divide the module count "
+                        f"M={n_memories}",
+                    )
+                )
+                continue
+            if b % n_groups:
+                skipped.append(
+                    SkippedCell(
+                        scheme,
+                        b,
+                        f"g={n_groups} must divide the bus count B={b}",
+                    )
+                )
+                continue
+        if scheme == "kclass" and class_sizes is not None:
+            k = len(list(class_sizes))
+            if k > b:
+                skipped.append(
+                    SkippedCell(
+                        scheme, b, f"K={k} classes require K <= B={b}"
+                    )
+                )
+                continue
+        valid.append(b)
+    return valid, skipped
+
+
+def _symmetric_x(model: RequestModel) -> float | None:
+    try:
+        return model.symmetric_module_probability()
+    except ModelError:
+        return None
+
+
+def _fallback_profile(
+    scheme: str,
+    n_processors: int,
+    n_memories: int,
+    bus_counts: Sequence[int],
+    model: RequestModel,
+    **network_kwargs,
+) -> BusProfile:
+    """Per-cell path for configurations the batch kernels do not cover.
+
+    Still benefits from the shared pmf cache underneath the scalar
+    formulas, and reports skips instead of dropping them.
+    """
+    values: dict[int, float] = {}
+    skipped: list[SkippedCell] = []
+    for b in bus_counts:
+        try:
+            network = build_network(
+                scheme, n_processors, n_memories, int(b), **network_kwargs
+            )
+        except ConfigurationError as exc:
+            skipped.append(SkippedCell(scheme, int(b), str(exc)))
+            continue
+        values[int(b)] = analytic_bandwidth(network, model)
+    return BusProfile(values=values, skipped=skipped)
+
+
+def _kclass_class_probabilities(
+    class_sizes: Sequence[int], xs: np.ndarray
+) -> list[float]:
+    """Per-class ``X_j`` from per-module probabilities, contiguous blocks.
+
+    Mirrors the class-uniformity requirement of
+    :func:`repro.analysis.evaluate.analytic_bandwidth` for the default
+    contiguous class assignment.
+    """
+    class_xs: list[float] = []
+    offset = 0
+    for j, size in enumerate(class_sizes, start=1):
+        members = xs[offset : offset + size]
+        offset += size
+        if members.size == 0:
+            class_xs.append(0.0)
+            continue
+        if float(members.max() - members.min()) > 1e-9:
+            raise ModelError(
+                f"modules of class C_{j} have differing request "
+                "probabilities; eq. (11) requires class-uniform X"
+            )
+        class_xs.append(float(members.mean()))
+    return class_xs
+
+
+def scheme_bus_profile(
+    scheme: str,
+    n_processors: int,
+    n_memories: int,
+    bus_counts: Sequence[int],
+    model: RequestModel,
+    **network_kwargs,
+) -> BusProfile:
+    """Bandwidth of one scheme for a whole bus-count vector.
+
+    The batched counterpart of calling
+    :func:`~repro.analysis.evaluate.analytic_bandwidth` per bus count on
+    networks from :func:`~repro.topology.factory.build_network`: the same
+    homogeneous/heterogeneous dispatch and the same feasibility rules,
+    but each scheme's cells all derive from one cached pmf and one
+    whole-grid kernel, with no per-cell network construction.  Exotic
+    kwargs (``bus_of_module``, ``class_of_module``, ...) fall back to the
+    per-cell path so behaviour never diverges from the topology objects.
+    """
+    if model.n_processors != n_processors:
+        raise ConfigurationError(
+            f"model has {model.n_processors} processors, network has "
+            f"{n_processors}"
+        )
+    if model.n_memories != n_memories:
+        raise ConfigurationError(
+            f"model addresses {model.n_memories} modules, network has "
+            f"{n_memories}"
+        )
+    batchable = _BATCHABLE_KWARGS.get(scheme)
+    if batchable is None or set(network_kwargs) - batchable:
+        return _fallback_profile(
+            scheme, n_processors, n_memories, bus_counts, model,
+            **network_kwargs,
+        )
+    valid, skipped = valid_bus_counts(
+        scheme, n_memories, bus_counts, **network_kwargs
+    )
+    profile = BusProfile(values={}, skipped=skipped)
+    if not valid:
+        return profile
+    x = _symmetric_x(model)
+
+    if scheme == "crossbar":
+        # evaluate.analytic_bandwidth always takes the heterogeneous sum.
+        xs = model.module_request_probabilities()
+        value = float(
+            np.sum([validate_probability(float(v), "X_j") for v in xs])
+        )
+        profile.values = {b: value for b in valid}
+        return profile
+
+    if scheme == "full":
+        if x is not None:
+            batch = bandwidth_full_batch(n_memories, valid, x)
+        else:
+            xs = model.module_request_probabilities()
+            excess = tail_excess_all_buses(cached_poisson_binomial_pmf(xs))
+            total = float(xs.sum())
+            batch = total - excess[np.minimum(valid, n_memories)]
+        profile.values = {b: float(v) for b, v in zip(valid, batch)}
+        return profile
+
+    if scheme == "partial":
+        n_groups = network_kwargs.get("n_groups", 2)
+        if x is not None:
+            batch = bandwidth_partial_batch(n_memories, valid, n_groups, x)
+        else:
+            xs = model.module_request_probabilities()
+            per_group = n_memories // n_groups
+            caps = np.minimum(np.asarray(valid) // n_groups, per_group)
+            batch = np.zeros(len(valid))
+            for q in range(n_groups):
+                group = xs[q * per_group : (q + 1) * per_group]
+                excess = tail_excess_all_buses(
+                    cached_poisson_binomial_pmf(group)
+                )
+                batch += float(group.sum()) - excess[caps]
+        profile.values = {b: float(v) for b, v in zip(valid, batch)}
+        return profile
+
+    if scheme == "single":
+        if x is not None:
+            batch = bandwidth_single_batch(n_memories, valid, x)
+            profile.values = {b: float(v) for b, v in zip(valid, batch)}
+        else:
+            xs = model.module_request_probabilities()
+            miss_factors = 1.0 - np.asarray(
+                [validate_probability(float(v), "X_j") for v in xs]
+            )
+            for b in valid:
+                base, extra = divmod(n_memories, b)
+                counts = np.full(b, base)
+                counts[:extra] += 1
+                starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                miss = np.multiply.reduceat(miss_factors, starts)
+                profile.values[b] = float(b - miss.sum())
+        return profile
+
+    # scheme == "kclass"
+    class_sizes = network_kwargs.get("class_sizes")
+    if class_sizes is not None:
+        sizes = [int(s) for s in class_sizes]
+        if sum(sizes) != n_memories:
+            # build_network would reject every cell; mirror as skips.
+            profile.skipped = profile.skipped + [
+                SkippedCell(
+                    scheme,
+                    b,
+                    f"class sizes {sizes} sum to {sum(sizes)}, expected "
+                    f"M={n_memories}",
+                )
+                for b in valid
+            ]
+            return profile
+        request = (
+            x if x is not None
+            else _kclass_class_probabilities(
+                sizes, model.module_request_probabilities()
+            )
+        )
+        batch = bandwidth_kclass_batch(sizes, valid, request)
+        profile.values = {b: float(v) for b, v in zip(valid, batch)}
+        return profile
+    # Default factory layout: K = B equal classes, so the class structure
+    # itself changes with B — evaluate per count, sharing class pmfs
+    # through the cache (sizes repeat heavily across counts).
+    xs = None if x is not None else model.module_request_probabilities()
+    for b in valid:
+        sizes = equal_class_sizes(n_memories, b)
+        request = (
+            x if x is not None
+            else _kclass_class_probabilities(sizes, xs)
+        )
+        profile.values[b] = bandwidth_kclass(sizes, b, request)
+    return profile

@@ -15,11 +15,10 @@ crossbar" — generalized into planning utilities:
 
 from __future__ import annotations
 
-from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.batch import scheme_bus_profile
 from repro.core.bandwidth import bandwidth_crossbar
 from repro.core.request_models import RequestModel
 from repro.exceptions import ConfigurationError
-from repro.topology.factory import build_network
 
 __all__ = [
     "min_buses_for_bandwidth",
@@ -32,11 +31,21 @@ __all__ = [
 def _scheme_bandwidth(
     scheme: str, n: int, b: int, model: RequestModel, **kwargs
 ) -> float | None:
-    try:
-        network = build_network(scheme, n, model.n_memories, b, **kwargs)
-    except ConfigurationError:
-        return None
-    return analytic_bandwidth(network, model)
+    values = _scheme_profile(scheme, n, [b], model, **kwargs)
+    return values.get(b)
+
+
+def _scheme_profile(
+    scheme: str, n: int, bus_counts, model: RequestModel, **kwargs
+) -> dict[int, float]:
+    """Feasible-``B`` bandwidth map from the batched analytic engine.
+
+    One cached pmf and one whole-grid kernel cover every candidate bus
+    count, instead of a network build plus pmf recompute per count.
+    """
+    return scheme_bus_profile(
+        scheme, n, model.n_memories, list(bus_counts), model, **kwargs
+    ).values
 
 
 def min_buses_for_bandwidth(
@@ -54,17 +63,14 @@ def min_buses_for_bandwidth(
     """
     if target <= 0.0:
         raise ConfigurationError(f"target bandwidth must be > 0: {target}")
-    best = None
-    for b in range(1, model.n_memories + 1):
-        value = _scheme_bandwidth(
-            scheme, n_processors, b, model, **network_kwargs
-        )
-        if value is None:
-            continue
-        if value >= target - 1e-12:
-            best = b
-            break
-    return best
+    values = _scheme_profile(
+        scheme, n_processors, range(1, model.n_memories + 1), model,
+        **network_kwargs,
+    )
+    for b in sorted(values):
+        if values[b] >= target - 1e-12:
+            return b
+    return None
 
 
 def min_buses_for_crossbar_fraction(
@@ -150,14 +156,14 @@ def bus_utilization_profile(
     """
     if max_buses is None:
         max_buses = model.n_memories
+    values = _scheme_profile(
+        scheme, n_processors, range(1, max_buses + 1), model,
+        **network_kwargs,
+    )
     profile: list[dict[str, float]] = []
     previous = 0.0
-    for b in range(1, max_buses + 1):
-        value = _scheme_bandwidth(
-            scheme, n_processors, b, model, **network_kwargs
-        )
-        if value is None:
-            continue
+    for b in sorted(values):
+        value = values[b]
         profile.append(
             {
                 "B": b,

@@ -3,23 +3,37 @@
 The paper's evaluation is a grid of (scheme, N, B, r, requesting model)
 cells; this module produces such grids as lists of flat record dicts that
 the table renderer, the experiments and the benchmarks all share.
+
+Since the batched analytic engine landed, sweeps no longer evaluate cell
+by cell: for each (rate, model) pair the whole bus-count vector is
+computed from one cached pmf by :mod:`repro.analysis.batch`, and no
+network object is constructed per cell.  Structurally invalid cells —
+the paper tables' blank entries — are no longer silently dropped either:
+the ``*_with_skips`` variants return them as
+:class:`~repro.analysis.batch.SkippedCell` records, and the classic
+functions log them on this module's logger.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import logging
 from collections.abc import Callable, Iterable, Sequence
 
-from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.batch import SkippedCell, scheme_bus_profile
 from repro.core.hierarchy import paper_two_level_model
 from repro.core.request_models import RequestModel, UniformRequestModel
-from repro.exceptions import ConfigurationError
-from repro.topology.factory import build_network
 
 __all__ = [
+    "SweepResult",
     "bandwidth_sweep",
+    "bandwidth_sweep_with_skips",
     "bus_count_sweep",
+    "bus_count_sweep_with_skips",
     "paper_model_pair",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def paper_model_pair(
@@ -34,6 +48,79 @@ def paper_model_pair(
         "hier": paper_two_level_model(n_processors, rate=rate),
         "unif": UniformRequestModel(n_processors, n_processors, rate=rate),
     }
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """A sweep's records plus the audited skipped cells."""
+
+    records: list[dict[str, object]]
+    skipped: list[SkippedCell]
+
+
+def _log_skips(skipped: Sequence[SkippedCell]) -> None:
+    for cell in skipped:
+        logger.debug(
+            "skipping scheme=%s B=%d: %s", cell.scheme, cell.n_buses,
+            cell.reason,
+        )
+
+
+def bandwidth_sweep_with_skips(
+    scheme: str,
+    n_processors: int,
+    bus_counts: Sequence[int],
+    rates: Sequence[float],
+    model_factory: Callable[[int, float], dict[str, RequestModel]] = paper_model_pair,
+    n_memories: int | None = None,
+    **network_kwargs,
+) -> SweepResult:
+    """Evaluate one scheme across a (B, r, model) grid, auditing skips.
+
+    Returns one record per valid grid cell (same shape as
+    :func:`bandwidth_sweep`) plus one :class:`SkippedCell` per
+    structurally invalid ``(scheme, B)`` combination — the blank cells of
+    the paper's tables, deduplicated across rates and models since
+    feasibility depends only on the structure.
+    """
+    if n_memories is None:
+        n_memories = n_processors
+    bus_counts = [int(b) for b in bus_counts]
+    records: list[dict[str, object]] = []
+    skipped: list[SkippedCell] = []
+    for rate in rates:
+        models = model_factory(n_processors, rate)
+        profiles = {
+            name: scheme_bus_profile(
+                scheme, n_processors, n_memories, bus_counts, model,
+                **network_kwargs,
+            )
+            for name, model in models.items()
+        }
+        if not skipped:
+            seen: set[tuple[str, int]] = set()
+            for profile in profiles.values():
+                for cell in profile.skipped:
+                    if (cell.scheme, cell.n_buses) not in seen:
+                        seen.add((cell.scheme, cell.n_buses))
+                        skipped.append(cell)
+        for n_buses in bus_counts:
+            for name in models:
+                values = profiles[name].values
+                if n_buses not in values:
+                    continue
+                records.append(
+                    {
+                        "scheme": scheme,
+                        "N": n_processors,
+                        "M": n_memories,
+                        "B": n_buses,
+                        "r": rate,
+                        "model": name,
+                        "bandwidth": values[n_buses],
+                    }
+                )
+    return SweepResult(records=records, skipped=skipped)
 
 
 def bandwidth_sweep(
@@ -53,33 +140,40 @@ def bandwidth_sweep(
 
     Grid cells whose parameters are structurally invalid for the scheme
     (e.g. ``g`` does not divide ``B``) are skipped, mirroring the blank
-    cells of the paper's tables.
+    cells of the paper's tables; the skipped combinations are logged at
+    DEBUG level and available from :func:`bandwidth_sweep_with_skips`.
     """
-    if n_memories is None:
-        n_memories = n_processors
-    records: list[dict[str, object]] = []
-    for rate in rates:
-        models = model_factory(n_processors, rate)
-        for n_buses in bus_counts:
-            try:
-                network = build_network(
-                    scheme, n_processors, n_memories, n_buses, **network_kwargs
-                )
-            except ConfigurationError:
-                continue
-            for name, model in models.items():
-                records.append(
-                    {
-                        "scheme": scheme,
-                        "N": n_processors,
-                        "M": n_memories,
-                        "B": n_buses,
-                        "r": rate,
-                        "model": name,
-                        "bandwidth": analytic_bandwidth(network, model),
-                    }
-                )
-    return records
+    result = bandwidth_sweep_with_skips(
+        scheme, n_processors, bus_counts, rates, model_factory,
+        n_memories, **network_kwargs,
+    )
+    _log_skips(result.skipped)
+    return result.records
+
+
+def bus_count_sweep_with_skips(
+    scheme: str,
+    n_processors: int,
+    model: RequestModel,
+    bus_counts: Iterable[int] | None = None,
+    **network_kwargs,
+) -> tuple[dict[int, float], list[SkippedCell]]:
+    """Bandwidth as a function of ``B``, plus the audited skipped counts.
+
+    The whole profile comes from a single cached pmf and one whole-grid
+    kernel — no network object is built per bus count.
+    """
+    if bus_counts is None:
+        bus_counts = range(1, n_processors + 1)
+    profile = scheme_bus_profile(
+        scheme,
+        n_processors,
+        model.n_memories,
+        [int(b) for b in bus_counts],
+        model,
+        **network_kwargs,
+    )
+    return profile.values, profile.skipped
 
 
 def bus_count_sweep(
@@ -91,21 +185,12 @@ def bus_count_sweep(
 ) -> dict[int, float]:
     """Bandwidth as a function of ``B`` for one scheme and model.
 
-    ``bus_counts`` defaults to ``1..N``; invalid counts are skipped.
+    ``bus_counts`` defaults to ``1..N``; invalid counts are skipped (and
+    logged at DEBUG level — use :func:`bus_count_sweep_with_skips` to
+    inspect them programmatically).
     """
-    if bus_counts is None:
-        bus_counts = range(1, n_processors + 1)
-    out: dict[int, float] = {}
-    for n_buses in bus_counts:
-        try:
-            network = build_network(
-                scheme,
-                n_processors,
-                model.n_memories,
-                n_buses,
-                **network_kwargs,
-            )
-        except ConfigurationError:
-            continue
-        out[n_buses] = analytic_bandwidth(network, model)
-    return out
+    values, skipped = bus_count_sweep_with_skips(
+        scheme, n_processors, model, bus_counts, **network_kwargs
+    )
+    _log_skips(skipped)
+    return values

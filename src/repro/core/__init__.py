@@ -22,6 +22,13 @@ from repro.core.binomial import (
     poisson_binomial_pmf,
     tail_excess,
 )
+from repro.core.cache import (
+    CacheInfo,
+    PmfCache,
+    cached_binomial_pmf,
+    cached_poisson_binomial_pmf,
+    pmf_cache,
+)
 from repro.core.exact import (
     distinct_request_pmf,
     exact_bandwidth,
@@ -67,6 +74,11 @@ __all__ = [
     "poisson_binomial_pmf",
     "expected_capped",
     "tail_excess",
+    "CacheInfo",
+    "PmfCache",
+    "pmf_cache",
+    "cached_binomial_pmf",
+    "cached_poisson_binomial_pmf",
     "ResubmissionEquilibrium",
     "solve_resubmission_equilibrium",
     "exact_bandwidth",

@@ -26,12 +26,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.binomial import (
-    binomial_pmf,
-    poisson_binomial_pmf,
-    tail_excess,
-    validate_probability,
-)
+from repro.core.binomial import tail_excess, validate_probability
+from repro.core.cache import cached_binomial_pmf, cached_poisson_binomial_pmf
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -58,12 +54,18 @@ def request_count_pmf(n_memories: int, request_probability: float) -> np.ndarray
     Each of the ``M`` memory-request arbiters outputs a request
     independently with probability ``X``, so the count is
     ``Binomial(M, X)``.
+
+    Served through the shared :data:`repro.core.cache.pmf_cache`, so every
+    scheme and every bus count of a sweep that agree on ``(M, X)`` reuse
+    one vector.  The returned array is read-only; copy before mutating.
     """
     if n_memories < 1:
         raise ConfigurationError(
             f"need at least one memory module, got {n_memories}"
         )
-    return binomial_pmf(n_memories, validate_probability(request_probability, "X"))
+    return cached_binomial_pmf(
+        n_memories, validate_probability(request_probability, "X")
+    )
 
 
 def bandwidth_full(
@@ -94,7 +96,7 @@ def bandwidth_full_heterogeneous(
     """
     _check_buses(n_buses)
     xs = np.asarray(module_probabilities, dtype=float)
-    pmf = poisson_binomial_pmf(xs)
+    pmf = cached_poisson_binomial_pmf(xs)
     return float(xs.sum()) - tail_excess(pmf, n_buses)
 
 

@@ -1,0 +1,189 @@
+"""Shared memoization of request-count pmfs (the batched analytic engine's L1).
+
+Every closed-form bandwidth expression of the paper reduces to sums over a
+request-count probability mass function that depends only on ``(M, X)`` —
+``Binomial(M, X)`` for the homogeneous formulas (eqs. 3, 10) or a
+Poisson-binomial over the per-module ``X_j`` for the heterogeneous
+generalizations.  A sweep over ``(scheme, B, r, model)`` therefore
+recomputes the *same* pmf for every bus count, and the heterogeneous path
+is O(M^2) per recompute.
+
+This module provides a process-wide LRU cache shared by all five schemes:
+
+* binomial pmfs are keyed on the exact ``(n, p)`` pair (after the same
+  probability clamping the uncached path applies), so two cells agreeing
+  on ``(M, X)`` share one vector;
+* Poisson-binomial pmfs are keyed on a SHA-256 content hash of the
+  (validated) probability vector, which doubles as invalidation: any
+  change to any ``X_j`` changes the key, so stale entries can never be
+  returned and no explicit invalidation hook is needed.
+
+Cached arrays are frozen (``writeable = False``) before they are stored so
+a consumer cannot corrupt entries shared across schemes.  Hit/miss
+counters are exposed through :meth:`PmfCache.cache_info` in the style of
+``functools.lru_cache``; benchmarks use them to assert pmf reuse across
+warm sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.binomial import (
+    binomial_pmf,
+    poisson_binomial_pmf,
+    validate_probability,
+)
+
+__all__ = [
+    "CacheInfo",
+    "PmfCache",
+    "pmf_cache",
+    "cached_binomial_pmf",
+    "cached_poisson_binomial_pmf",
+]
+
+
+class CacheInfo(NamedTuple):
+    """Hit/miss statistics, mirroring ``functools.lru_cache.cache_info()``."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PmfCache:
+    """Thread-safe LRU cache for binomial and Poisson-binomial pmfs.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of pmf vectors retained; the least recently used
+        entry is evicted first.  The paper's full Tables II-VI grid needs
+        well under a hundred distinct pmfs, so the default leaves ample
+        headroom for large sweeps.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._enabled = True
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _get(self, key: tuple, compute: Callable[[], np.ndarray]) -> np.ndarray:
+        if not self._enabled:
+            return compute()
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._store.move_to_end(key)
+                return cached
+            self._misses += 1
+        value = compute()
+        value.setflags(write=False)
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self._maxsize:
+                self._store.popitem(last=False)
+        return value
+
+    def binomial(self, n: int, p: float) -> np.ndarray:
+        """Cached :func:`repro.core.binomial.binomial_pmf`.
+
+        The key uses the *validated* probability, so inputs that clamp to
+        the same value (e.g. ``-1e-12`` and ``0.0``) share one entry.
+        The returned array is read-only; copy before mutating.
+        """
+        p = validate_probability(p)
+        return self._get(("binom", int(n), p), lambda: binomial_pmf(n, p))
+
+    def poisson_binomial(self, probabilities: Sequence[float]) -> np.ndarray:
+        """Cached :func:`repro.core.binomial.poisson_binomial_pmf`.
+
+        Keyed on a SHA-256 hash of the validated probability vector's raw
+        bytes (plus its length), so equal vectors share an entry no matter
+        what sequence type they arrive in.  The returned array is
+        read-only; copy before mutating.
+        """
+        xs = np.ascontiguousarray(
+            [
+                validate_probability(float(p), "probabilities[k]")
+                for p in probabilities
+            ],
+            dtype=float,
+        )
+        digest = hashlib.sha256(xs.tobytes()).digest()
+        return self._get(
+            ("pbin", xs.size, digest), lambda: poisson_binomial_pmf(xs)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection & control
+    # ------------------------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        """Return hit/miss counters and current occupancy."""
+        with self._lock:
+            return CacheInfo(
+                self._hits, self._misses, self._maxsize, len(self._store)
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        with self._lock:
+            self._store.clear()
+            self._hits = 0
+            self._misses = 0
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Context manager that bypasses the cache entirely.
+
+        Inside the context every lookup recomputes from scratch and the
+        counters do not move — this is the per-cell scalar baseline the
+        analytic benchmark times the batch engine against.
+        """
+        previous = self._enabled
+        self._enabled = False
+        try:
+            yield
+        finally:
+            self._enabled = previous
+
+
+#: Process-wide cache shared by every closed-form bandwidth consumer.
+pmf_cache = PmfCache()
+
+
+def cached_binomial_pmf(n: int, p: float) -> np.ndarray:
+    """``Binomial(n, p)`` pmf through the shared :data:`pmf_cache`."""
+    return pmf_cache.binomial(n, p)
+
+
+def cached_poisson_binomial_pmf(probabilities: Sequence[float]) -> np.ndarray:
+    """Poisson-binomial pmf through the shared :data:`pmf_cache`."""
+    return pmf_cache.poisson_binomial(probabilities)

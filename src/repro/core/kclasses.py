@@ -24,7 +24,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.binomial import binomial_pmf, validate_probability
+from repro.core.binomial import validate_probability
+from repro.core.cache import cached_binomial_pmf
 from repro.exceptions import ConfigurationError
 
 __all__ = [
@@ -61,6 +62,10 @@ def class_request_pmfs(
     ``X`` or a per-class sequence ``(X_1, ..., X_K)``.  Element ``j`` of
     the result has length ``M_j + 1`` and gives the distribution of the
     number of requested modules within class ``C_{j+1}``.
+
+    Vectors come from the shared :data:`repro.core.cache.pmf_cache` —
+    equal-sized classes at the same ``X`` share one (read-only) pmf, as do
+    repeated evaluations across bus counts of a sweep.
     """
     sizes = [int(s) for s in class_sizes]
     if np.isscalar(request_probability):
@@ -72,7 +77,7 @@ def class_request_pmfs(
                 f"need one X per class: {len(xs)} probabilities "
                 f"for {len(sizes)} classes"
             )
-    return [binomial_pmf(m_j, x_j) for m_j, x_j in zip(sizes, xs)]
+    return [cached_binomial_pmf(m_j, x_j) for m_j, x_j in zip(sizes, xs)]
 
 
 def bus_busy_probabilities(

@@ -4,8 +4,11 @@ import pytest
 
 from repro.analysis.compare import compare_schemes
 from repro.analysis.sweep import (
+    SweepResult,
     bandwidth_sweep,
+    bandwidth_sweep_with_skips,
     bus_count_sweep,
+    bus_count_sweep_with_skips,
     paper_model_pair,
 )
 from repro.analysis.tables import render_matrix, render_table
@@ -40,6 +43,56 @@ class TestBandwidthSweep:
         records = bandwidth_sweep("full", 8, (4,), (1.0,))
         by_model = {r["model"]: r["bandwidth"] for r in records}
         assert by_model["hier"] >= by_model["unif"]
+
+
+class TestSweepSkipAuditing:
+    def test_with_skips_reports_invalid_partial_counts(self):
+        result = bandwidth_sweep_with_skips(
+            "partial", 8, bus_counts=(2, 3, 4), rates=(1.0,)
+        )
+        assert isinstance(result, SweepResult)
+        assert {r["B"] for r in result.records} == {2, 4}
+        assert [(c.scheme, c.n_buses) for c in result.skipped] == [
+            ("partial", 3)
+        ]
+        assert "divide" in result.skipped[0].reason
+
+    def test_skips_deduplicated_across_rates_and_models(self):
+        result = bandwidth_sweep_with_skips(
+            "partial", 8, bus_counts=(2, 3, 4), rates=(1.0, 0.5)
+        )
+        # 2 rates x 2 models see the same structural skip: reported once.
+        assert len(result.skipped) == 1
+
+    def test_bus_count_exceeding_modules_is_audited(self):
+        result = bandwidth_sweep_with_skips(
+            "full", 8, bus_counts=(8, 9), rates=(1.0,)
+        )
+        assert {r["B"] for r in result.records} == {8}
+        assert [c.n_buses for c in result.skipped] == [9]
+        assert "exceeds" in result.skipped[0].reason
+
+    def test_records_match_classic_sweep(self):
+        grid = dict(bus_counts=(1, 2, 3, 4), rates=(1.0, 0.5))
+        assert (
+            bandwidth_sweep_with_skips("partial", 8, **grid).records
+            == bandwidth_sweep("partial", 8, **grid)
+        )
+
+    def test_classic_sweep_logs_skips(self, caplog):
+        with caplog.at_level("DEBUG", logger="repro.analysis.sweep"):
+            bandwidth_sweep("partial", 8, bus_counts=(3,), rates=(1.0,))
+        assert any("skipping scheme=partial" in m for m in caplog.messages)
+
+    def test_bus_count_sweep_with_skips(self):
+        values, skipped = bus_count_sweep_with_skips(
+            "partial", 8, UniformRequestModel(8, 8), bus_counts=(2, 3, 4)
+        )
+        assert sorted(values) == [2, 4]
+        assert [c.n_buses for c in skipped] == [3]
+        assert values == bus_count_sweep(
+            "partial", 8, UniformRequestModel(8, 8), bus_counts=(2, 3, 4)
+        )
 
 
 class TestBusCountSweep:
