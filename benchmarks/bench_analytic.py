@@ -13,6 +13,11 @@ Asserts the PR's acceptance contract — >= 10x batch-vs-scalar speedup
 with every cell equal to 1e-9, and a > 90% pmf hit rate on the warm
 pass — and writes the timings to ``BENCH_analytic.json`` at the repo
 root for the CI artifact.
+
+``test_telemetry_disabled_overhead`` guards the telemetry subsystem's
+"zero overhead when off" contract: with the default null registry the
+warm sweep must be no slower than with telemetry enabled, and the
+instrumented hot paths must stay on the no-op code paths.
 """
 
 import json
@@ -23,6 +28,9 @@ from repro.analysis.evaluate import analytic_bandwidth
 from repro.analysis.sweep import bandwidth_sweep, paper_model_pair
 from repro.core.cache import pmf_cache
 from repro.exceptions import ConfigurationError
+from repro.obs import get_registry, telemetry, telemetry_enabled
+from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.spans import _NOOP_SPAN, span
 from repro.topology.factory import build_network
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_analytic.json"
@@ -116,3 +124,58 @@ def test_batched_engine_speedup(benchmark):
         lambda: _batch_sweep(SIZES[-1]), rounds=3, iterations=1
     )
     RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def _best_of(fn, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_telemetry_disabled_overhead():
+    """Telemetry off must cost nothing on the analytic hot path."""
+    n = SIZES[0]
+
+    # Structural guard: the process default is the no-op registry, and
+    # spans short-circuit to the shared no-op span under it.
+    assert not telemetry_enabled()
+    assert get_registry() is NULL_REGISTRY
+    assert span("bench.probe", n=n) is _NOOP_SPAN
+
+    pmf_cache.clear()
+    _batch_sweep(n)  # warm the pmf cache once for both timed variants
+    t_off = _best_of(lambda: _batch_sweep(n))
+
+    with telemetry() as registry:
+        t_on = _best_of(lambda: _batch_sweep(n))
+        # The instrumentation actually fired while enabled.
+        assert registry.counter_total("pmf_cache.hits") > 0
+        assert registry.counter_total("sweep.records") > 0
+        assert registry.histograms(), "no span timings were recorded"
+    assert not telemetry_enabled()
+
+    # Disabled must be at least as fast as enabled, modulo timer noise.
+    assert t_off <= t_on * 1.05 + 0.05, (
+        f"telemetry-off sweep {t_off:.4f}s slower than telemetry-on "
+        f"{t_on:.4f}s"
+    )
+
+    # Merge into the benchmark artifact without clobbering the speedup
+    # numbers written by test_batched_engine_speedup.
+    try:
+        report = json.loads(RESULT_PATH.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        report = {}
+    report["telemetry"] = {
+        "disabled_seconds": t_off,
+        "enabled_seconds": t_on,
+        "overhead_ratio": t_on / t_off if t_off else None,
+    }
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\ntelemetry off {t_off:.4f}s, on {t_on:.4f}s "
+        f"({t_on / t_off:.2f}x when enabled)"
+    )

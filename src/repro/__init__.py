@@ -30,6 +30,8 @@ Package map:
 * :mod:`repro.faults` — bus fault injection and degraded-mode analysis.
 * :mod:`repro.analysis` — sweeps, cross-scheme comparison, table rendering.
 * :mod:`repro.experiments` — reproduction of every paper table and figure.
+* :mod:`repro.obs` — opt-in telemetry: metrics registry, spans, run
+  manifests.  Off by default with zero overhead.
 """
 
 from repro.analysis import (
@@ -78,6 +80,19 @@ from repro.faults import (
     degradation_curve,
     fail_buses,
     verify_fault_tolerance_degree,
+)
+from repro.obs import (
+    MetricsRegistry,
+    build_manifest,
+    disable_telemetry,
+    enable_telemetry,
+    events_jsonl,
+    get_registry,
+    prometheus_text,
+    span,
+    telemetry,
+    telemetry_enabled,
+    write_manifest,
 )
 from repro.simulation import (
     MultiprocessorSimulator,
@@ -158,4 +173,16 @@ __all__ = [
     "min_buses_for_crossbar_fraction",
     "rate_for_crossbar_fraction",
     "bus_utilization_profile",
+    # observability
+    "MetricsRegistry",
+    "get_registry",
+    "enable_telemetry",
+    "disable_telemetry",
+    "telemetry",
+    "telemetry_enabled",
+    "span",
+    "events_jsonl",
+    "prometheus_text",
+    "build_manifest",
+    "write_manifest",
 ]

@@ -40,6 +40,8 @@ from repro.core.cache import cached_binomial_pmf, cached_poisson_binomial_pmf
 from repro.core.kclasses import bandwidth_kclass, class_request_pmfs
 from repro.core.request_models import RequestModel
 from repro.exceptions import ConfigurationError, ModelError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.topology.factory import build_network, equal_class_sizes
 
 __all__ = [
@@ -256,6 +258,18 @@ def bandwidth_kclass_batch(
 # ----------------------------------------------------------------------
 
 
+#: ``(substring of the reason message, stable machine-readable code)``
+#: pairs, checked in order; telemetry counts skips by these codes.
+_REASON_CODES = (
+    ("at least one bus", "nonpositive_bus_count"),
+    ("exceeds M=", "bus_count_exceeds_modules"),
+    ("divide the module count", "groups_divide_modules"),
+    ("divide the bus count", "groups_divide_buses"),
+    ("classes require", "classes_exceed_buses"),
+    ("sum to", "class_sizes_sum_mismatch"),
+)
+
+
 @dataclasses.dataclass(frozen=True)
 class SkippedCell:
     """One structurally invalid ``(scheme, B)`` sweep cell and why."""
@@ -263,6 +277,18 @@ class SkippedCell:
     scheme: str
     n_buses: int
     reason: str
+
+    @property
+    def reason_code(self) -> str:
+        """Stable machine-readable category of :attr:`reason`.
+
+        Used as the telemetry label on ``analysis.cells_skipped`` so
+        manifests aggregate skips by cause rather than by message text.
+        """
+        for fragment, code in _REASON_CODES:
+            if fragment in self.reason:
+                return code
+        return "other"
 
 
 @dataclasses.dataclass
@@ -433,7 +459,39 @@ def scheme_bus_profile(
     whole-grid kernel, with no per-cell network construction.  Exotic
     kwargs (``bus_of_module``, ``class_of_module``, ...) fall back to the
     per-cell path so behaviour never diverges from the topology objects.
+
+    Runs inside an ``analysis.profile`` telemetry span; evaluated and
+    skipped cells feed the ``analysis.cells_evaluated`` /
+    ``analysis.cells_skipped`` counters (skips labelled by
+    :attr:`SkippedCell.reason_code`).
     """
+    with span("analysis.profile", scheme=scheme):
+        profile = _scheme_bus_profile(
+            scheme, n_processors, n_memories, bus_counts, model,
+            **network_kwargs,
+        )
+    registry = get_registry()
+    registry.increment(
+        "analysis.cells_evaluated", len(profile.values), scheme=scheme
+    )
+    for cell in profile.skipped:
+        registry.increment(
+            "analysis.cells_skipped",
+            scheme=cell.scheme,
+            reason=cell.reason_code,
+        )
+    return profile
+
+
+def _scheme_bus_profile(
+    scheme: str,
+    n_processors: int,
+    n_memories: int,
+    bus_counts: Sequence[int],
+    model: RequestModel,
+    **network_kwargs,
+) -> BusProfile:
+    """Uninstrumented body of :func:`scheme_bus_profile`."""
     if model.n_processors != n_processors:
         raise ConfigurationError(
             f"model has {model.n_processors} processors, network has "

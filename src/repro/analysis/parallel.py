@@ -27,6 +27,7 @@ import concurrent.futures
 import hashlib
 import json
 import os
+import time
 from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
 
@@ -36,6 +37,8 @@ from repro.analysis.evaluate import analytic_bandwidth
 from repro.analysis.sweep import paper_model_pair
 from repro.core.request_models import RequestModel
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.simulation.engine import simulate_bandwidth
 from repro.topology.factory import build_network
 
@@ -144,6 +147,18 @@ def _as_cache(cache: "ResultCache | str | Path | None") -> ResultCache | None:
     return ResultCache(cache)
 
 
+def _timed_call(func: Callable, item: object) -> tuple[object, float, int]:
+    """Run ``func(item)``, returning ``(result, seconds, worker pid)``.
+
+    Module-level so it pickles into pool workers; the duration is
+    measured *inside* the worker process, giving true per-worker task
+    timings rather than queue-inclusive parent-side estimates.
+    """
+    start = time.perf_counter()
+    result = func(item)
+    return result, time.perf_counter() - start, os.getpid()
+
+
 def parallel_map(
     func: Callable,
     items: Iterable,
@@ -175,6 +190,7 @@ def parallel_map(
     if cache is not None and cache_params is None:
         raise ConfigurationError("cache requires a cache_params function")
     cache = _as_cache(cache)
+    registry = get_registry()
 
     results: list = [None] * len(items)
     pending: list[tuple[int, object, str | None]] = []
@@ -185,27 +201,43 @@ def parallel_map(
             hit = cache.get(key, ResultCache._MISSING)
             if hit is not ResultCache._MISSING:
                 results[index] = hit
+                registry.increment("parallel.disk_cache.hits")
                 continue
+            registry.increment("parallel.disk_cache.misses")
         pending.append((index, item, key))
 
+    def _record_task(seconds: float, pid: int, mode: str) -> None:
+        registry.increment("parallel.tasks", mode=mode)
+        registry.observe("parallel.task_seconds", seconds, mode=mode)
+        registry.record_event(
+            "parallel.task",
+            mode=mode,
+            worker=pid,
+            seconds=round(seconds, 6),
+        )
+
     if n_workers is not None and n_workers > 1 and len(pending) > 1:
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=n_workers
-        ) as executor:
-            futures = {
-                executor.submit(func, item): (index, key)
-                for index, item, key in pending
-            }
-            for future in concurrent.futures.as_completed(futures):
-                index, key = futures[future]
-                results[index] = future.result()
+        with span("parallel.map", mode="pool", tasks=len(pending)):
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=n_workers
+            ) as executor:
+                futures = {
+                    executor.submit(_timed_call, func, item): (index, key)
+                    for index, item, key in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    index, key = futures[future]
+                    results[index], seconds, pid = future.result()
+                    _record_task(seconds, pid, "pool")
+                    if cache is not None:
+                        cache.put(key, results[index])
+    else:
+        with span("parallel.map", mode="serial", tasks=len(pending)):
+            for index, item, key in pending:
+                results[index], seconds, pid = _timed_call(func, item)
+                _record_task(seconds, pid, "serial")
                 if cache is not None:
                     cache.put(key, results[index])
-    else:
-        for index, item, key in pending:
-            results[index] = func(item)
-            if cache is not None:
-                cache.put(key, results[index])
     return results
 
 
@@ -318,10 +350,11 @@ def simulated_bandwidth_sweep(
                 )
     for cell, cell_seed in zip(cells, spawn_seeds(seed, len(cells))):
         cell["seed"] = cell_seed
-    return parallel_map(
-        _simulated_cell,
-        cells,
-        n_workers=n_workers,
-        cache=cache,
-        cache_params=_simulated_cell_params,
-    )
+    with span("sweep.simulated", scheme=scheme, cells=len(cells)):
+        return parallel_map(
+            _simulated_cell,
+            cells,
+            n_workers=n_workers,
+            cache=cache,
+            cache_params=_simulated_cell_params,
+        )

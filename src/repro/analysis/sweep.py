@@ -23,6 +23,8 @@ from collections.abc import Callable, Iterable, Sequence
 from repro.analysis.batch import SkippedCell, scheme_bus_profile
 from repro.core.hierarchy import paper_two_level_model
 from repro.core.request_models import RequestModel, UniformRequestModel
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 
 __all__ = [
     "SweepResult",
@@ -88,6 +90,31 @@ def bandwidth_sweep_with_skips(
     bus_counts = [int(b) for b in bus_counts]
     records: list[dict[str, object]] = []
     skipped: list[SkippedCell] = []
+    sweep_span = span(
+        "sweep.bandwidth", scheme=scheme, N=n_processors, M=n_memories
+    )
+    with sweep_span:
+        _sweep_grid(
+            scheme, n_processors, n_memories, bus_counts, rates,
+            model_factory, records, skipped, network_kwargs,
+        )
+        sweep_span.set_attribute("records", len(records))
+    get_registry().increment("sweep.records", len(records), scheme=scheme)
+    return SweepResult(records=records, skipped=skipped)
+
+
+def _sweep_grid(
+    scheme: str,
+    n_processors: int,
+    n_memories: int,
+    bus_counts: list[int],
+    rates: Sequence[float],
+    model_factory: Callable[[int, float], dict[str, RequestModel]],
+    records: list[dict[str, object]],
+    skipped: list[SkippedCell],
+    network_kwargs: dict,
+) -> None:
+    """Fill ``records``/``skipped`` for :func:`bandwidth_sweep_with_skips`."""
     for rate in rates:
         models = model_factory(n_processors, rate)
         profiles = {
@@ -120,7 +147,6 @@ def bandwidth_sweep_with_skips(
                         "bandwidth": values[n_buses],
                     }
                 )
-    return SweepResult(records=records, skipped=skipped)
 
 
 def bandwidth_sweep(
@@ -165,14 +191,15 @@ def bus_count_sweep_with_skips(
     """
     if bus_counts is None:
         bus_counts = range(1, n_processors + 1)
-    profile = scheme_bus_profile(
-        scheme,
-        n_processors,
-        model.n_memories,
-        [int(b) for b in bus_counts],
-        model,
-        **network_kwargs,
-    )
+    with span("sweep.bus_count", scheme=scheme, N=n_processors):
+        profile = scheme_bus_profile(
+            scheme,
+            n_processors,
+            model.n_memories,
+            [int(b) for b in bus_counts],
+            model,
+            **network_kwargs,
+        )
     return profile.values, profile.skipped
 
 

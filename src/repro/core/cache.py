@@ -22,7 +22,10 @@ Cached arrays are frozen (``writeable = False``) before they are stored so
 a consumer cannot corrupt entries shared across schemes.  Hit/miss
 counters are exposed through :meth:`PmfCache.cache_info` in the style of
 ``functools.lru_cache``; benchmarks use them to assert pmf reuse across
-warm sweeps.
+warm sweeps.  Every hit, miss and eviction is additionally reported to
+the telemetry registry (``pmf_cache.hits`` / ``.misses`` /
+``.evictions``), so run manifests carry the cache hit rate without
+callers having to snapshot ``cache_info()`` deltas themselves.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from repro.core.binomial import (
     poisson_binomial_pmf,
     validate_probability,
 )
+from repro.obs.metrics import get_registry
 
 __all__ = [
     "CacheInfo",
@@ -86,6 +90,7 @@ class PmfCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         self._enabled = True
 
     # ------------------------------------------------------------------
@@ -95,20 +100,28 @@ class PmfCache:
     def _get(self, key: tuple, compute: Callable[[], np.ndarray]) -> np.ndarray:
         if not self._enabled:
             return compute()
+        registry = get_registry()
         with self._lock:
             cached = self._store.get(key)
             if cached is not None:
                 self._hits += 1
                 self._store.move_to_end(key)
+                registry.increment("pmf_cache.hits", kind=key[0])
                 return cached
             self._misses += 1
+        registry.increment("pmf_cache.misses", kind=key[0])
         value = compute()
         value.setflags(write=False)
+        evicted = 0
         with self._lock:
             self._store[key] = value
             self._store.move_to_end(key)
             while len(self._store) > self._maxsize:
                 self._store.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            registry.increment("pmf_cache.evictions", evicted)
         return value
 
     def binomial(self, n: int, p: float) -> np.ndarray:
@@ -152,12 +165,19 @@ class PmfCache:
                 self._hits, self._misses, self._maxsize, len(self._store)
             )
 
+    @property
+    def evictions(self) -> int:
+        """Total LRU evictions since construction (or the last clear)."""
+        with self._lock:
+            return self._evictions
+
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/eviction counters."""
         with self._lock:
             self._store.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     @contextmanager
     def disabled(self) -> Iterator[None]:

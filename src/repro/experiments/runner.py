@@ -3,6 +3,16 @@
 Prints each experiment's rendered table and its reproduction verdict,
 and exits non-zero if any compared cell misses the paper's printed value
 — so the whole reproduction doubles as a shell-level check.
+
+With ``--telemetry PATH`` every experiment runs under a fresh telemetry
+registry and writes three artifacts to ``PATH/<experiment_id>/``:
+
+* ``manifest.json`` — diffable run manifest (cache hit rate, backend
+  selection and auto-fallbacks, RNG streams, skipped sweep cells,
+  per-phase span timings);
+* ``events.jsonl`` — the ordered event log, one JSON object per line;
+* ``metrics.prom`` — a Prometheus-style text dump of every counter,
+  gauge and timing histogram.
 """
 
 from __future__ import annotations
@@ -10,10 +20,50 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from repro.obs import (
+    disable_telemetry,
+    enable_telemetry,
+    span,
+    write_events_jsonl,
+    write_manifest,
+    write_prometheus,
+)
 
 __all__ = ["main"]
+
+
+def _run_with_telemetry(
+    experiment_id: str,
+    telemetry_dir: str | Path | None,
+    **run_kwargs,
+) -> ExperimentResult:
+    """Run one experiment, emitting telemetry artifacts when requested."""
+    if telemetry_dir is None:
+        return run_experiment(experiment_id, **run_kwargs)
+    registry = enable_telemetry()
+    try:
+        with span(f"experiment.{experiment_id}"):
+            result = run_experiment(experiment_id, **run_kwargs)
+    finally:
+        disable_telemetry()
+    out = Path(telemetry_dir) / experiment_id
+    write_manifest(
+        registry,
+        out / "manifest.json",
+        run={
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "paper_cells_compared": result.n_compared,
+            "max_abs_error": round(result.max_abs_error, 4),
+            "reproduces": result.all_within_tolerance(),
+        },
+    )
+    write_events_jsonl(registry, out / "events.jsonl")
+    write_prometheus(registry, out / "metrics.prom")
+    return result
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -55,6 +105,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             "(default: serial; results are identical for any N)"
         ),
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help=(
+            "enable telemetry and write manifest.json / events.jsonl / "
+            "metrics.prom per experiment under PATH/<experiment_id>/"
+        ),
+    )
     args = parser.parse_args(argv)
 
     requested = list(args.experiments)
@@ -70,7 +129,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         payload = []
         failed = False
         for experiment_id in requested:
-            result = run_experiment(experiment_id, **run_kwargs)
+            result = _run_with_telemetry(
+                experiment_id, args.telemetry, **run_kwargs
+            )
             ok = result.all_within_tolerance()
             failed = failed or not ok
             payload.append(
@@ -88,11 +149,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     failed = False
     for experiment_id in requested:
-        result = run_experiment(experiment_id, **run_kwargs)
+        result = _run_with_telemetry(
+            experiment_id, args.telemetry, **run_kwargs
+        )
         if not args.quiet:
             print(f"=== {result.title} ===")
             print(result.rendered)
         print(result.summary())
+        if args.telemetry:
+            print(
+                "  telemetry -> "
+                f"{Path(args.telemetry) / result.experiment_id}/"
+                "{manifest.json,events.jsonl,metrics.prom}"
+            )
         if not args.quiet:
             print()
         if not result.all_within_tolerance():

@@ -1,0 +1,121 @@
+"""Registry exporters: JSON-lines event log and Prometheus text dump.
+
+Both exports are deliberately timestamp-free and deterministically
+ordered (events by sequence number, metrics lexicographically), so two
+runs of the same workload produce byte-identical output wherever the
+underlying quantities are deterministic — timings are segregated into
+clearly-named ``*_seconds`` series that a diff can filter out.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.obs.metrics import MetricKey, MetricsRegistry
+
+__all__ = [
+    "events_jsonl",
+    "write_events_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return _NAME_RE.sub("_", f"{prefix}_{name}")
+
+
+def _prom_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_NAME_RE.sub("_", k)}="{v}"' for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def events_jsonl(registry: MetricsRegistry) -> str:
+    """The registry's event log as JSON lines (one event per line)."""
+    lines = [
+        json.dumps(event, sort_keys=True, default=str)
+        for event in registry.events()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_events_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`events_jsonl` to ``path``; return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(events_jsonl(registry))
+    return path
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Prometheus exposition-format dump of the registry.
+
+    Counters and gauges map directly; histogram summaries export as
+    ``_count`` / ``_sum`` / ``_min`` / ``_max`` gauges (the streaming
+    summary the registry keeps).  Series are sorted, so the dump is
+    stable for deterministic metrics.
+    """
+
+    def sort_key(item: tuple[MetricKey, object]):
+        (name, labels), _ = item
+        return (name, labels)
+
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    for (name, labels), value in sorted(
+        registry.counters().items(), key=sort_key
+    ):
+        prom = _prom_name(name, prefix)
+        if prom not in typed:
+            typed.add(prom)
+            lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom}{_prom_labels(labels)} {_format_value(value)}")
+
+    for (name, labels), value in sorted(
+        registry.gauges().items(), key=sort_key
+    ):
+        prom = _prom_name(name, prefix)
+        if prom not in typed:
+            typed.add(prom)
+            lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom}{_prom_labels(labels)} {_format_value(value)}")
+
+    for (name, labels), summary in sorted(
+        registry.histograms().items(), key=sort_key
+    ):
+        prom = _prom_name(name, prefix)
+        if prom not in typed:
+            typed.add(prom)
+            lines.append(f"# TYPE {prom} summary")
+        label_text = _prom_labels(labels)
+        lines.append(f"{prom}_count{label_text} {summary.count}")
+        lines.append(f"{prom}_sum{label_text} {_format_value(summary.total)}")
+        lines.append(f"{prom}_min{label_text} {_format_value(summary.min)}")
+        lines.append(f"{prom}_max{label_text} {_format_value(summary.max)}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str | Path, prefix: str = "repro"
+) -> Path:
+    """Write :func:`prometheus_text` to ``path``; return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry, prefix))
+    return path

@@ -1,0 +1,144 @@
+"""Per-run manifests: one diffable JSON document per experiment/run.
+
+A manifest digests the registry into the questions an operator asks
+after a run: did the cache work (hit rate), which simulation backend ran
+(and how often the auto selector fell back), which sweep cells were
+skipped and why, which RNG streams fed the Monte-Carlo, and where the
+time went per phase (top-level spans).
+
+Determinism contract: no field carries a wall-clock timestamp or
+hostname.  Everything outside the ``"timings"`` section is a pure
+function of the workload and seed, so ``diff manifest_a.json
+manifest_b.json`` flags real behavioural drift; timing noise stays
+confined to one clearly-named section.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "build_manifest",
+    "write_manifest",
+    "skipped_cell_counts",
+]
+
+
+def skipped_cell_counts(registry: MetricsRegistry) -> list[dict[str, object]]:
+    """``analysis.cells_skipped`` counters as sorted flat records."""
+    records = []
+    for (name, labels), value in registry.counters().items():
+        if name != "analysis.cells_skipped":
+            continue
+        record: dict[str, object] = dict(labels)
+        record["count"] = int(value)
+        records.append(record)
+    return sorted(
+        records,
+        key=lambda r: (str(r.get("scheme", "")), str(r.get("reason", ""))),
+    )
+
+
+def _cache_section(registry: MetricsRegistry) -> dict[str, object]:
+    hits = int(registry.counter_total("pmf_cache.hits"))
+    misses = int(registry.counter_total("pmf_cache.misses"))
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "evictions": int(registry.counter_total("pmf_cache.evictions")),
+        "hit_rate": round(hits / total, 6) if total else 0.0,
+    }
+
+
+def _backend_section(registry: MetricsRegistry) -> dict[str, object]:
+    runs = {
+        labels[0][1] if labels else "unknown": int(value)
+        for (name, labels), value in registry.counters().items()
+        if name == "sim.backend"
+    }
+    fallbacks = [
+        {
+            key: event[key]
+            for key in ("scheme", "reason")
+            if key in event
+        }
+        for event in registry.events()
+        if event["kind"] == "sim.backend_fallback"
+    ]
+    return {"runs": dict(sorted(runs.items())), "auto_fallbacks": fallbacks}
+
+
+def _rng_section(registry: MetricsRegistry) -> dict[str, object]:
+    entropies: set[int] = set()
+    streams = 0
+    for event in registry.events():
+        if event["kind"] != "sim.rng":
+            continue
+        streams += 1
+        entropy = event.get("entropy")
+        if isinstance(entropy, int):
+            entropies.add(entropy)
+    return {"streams": streams, "root_entropies": sorted(entropies)}
+
+
+def _counters_section(registry: MetricsRegistry) -> dict[str, object]:
+    flat: dict[str, object] = {}
+    for (name, labels), value in registry.counters().items():
+        if labels:
+            label_text = ",".join(f"{k}={v}" for k, v in labels)
+            key = f"{name}{{{label_text}}}"
+        else:
+            key = name
+        flat[key] = int(value) if float(value).is_integer() else value
+    return dict(sorted(flat.items()))
+
+
+def _timings_section(registry: MetricsRegistry) -> dict[str, object]:
+    phases: dict[str, dict[str, object]] = {}
+    for (name, labels), summary in registry.histograms().items():
+        if not name.startswith("span.") or not name.endswith(".wall_seconds"):
+            continue
+        phase = name[len("span.") : -len(".wall_seconds")]
+        cpu = registry.histograms().get((f"span.{phase}.cpu_seconds", labels))
+        phases[phase] = {
+            "count": summary.count,
+            "wall_seconds": round(summary.total, 6),
+            "cpu_seconds": round(cpu.total, 6) if cpu else None,
+        }
+    return {"phases": dict(sorted(phases.items()))}
+
+
+def build_manifest(
+    registry: MetricsRegistry, run: dict[str, object] | None = None
+) -> dict[str, object]:
+    """Digest ``registry`` into the manifest document.
+
+    ``run`` is the caller's deterministic identity block (experiment id,
+    seed, cell counts, verdicts, ...) and lands verbatim under ``"run"``.
+    """
+    return {
+        "run": dict(run or {}),
+        "cache": _cache_section(registry),
+        "backends": _backend_section(registry),
+        "rng": _rng_section(registry),
+        "skipped_cells": skipped_cell_counts(registry),
+        "counters": _counters_section(registry),
+        "timings": _timings_section(registry),
+    }
+
+
+def write_manifest(
+    registry: MetricsRegistry,
+    path: str | Path,
+    run: dict[str, object] | None = None,
+) -> Path:
+    """Write :func:`build_manifest` as sorted, indented JSON; return path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(registry, run)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path

@@ -26,6 +26,12 @@ streams from the seed via :class:`numpy.random.SeedSequence`, so for the
 same seed they observe bit-identical request streams; per-cycle grant
 counts (and hence bandwidth) then agree exactly, which the equivalence
 test suite locks down.
+
+When telemetry is enabled (:mod:`repro.obs`), every simulator reports
+its resolved backend (with a ``sim.backend_fallback`` event whenever
+``"auto"`` silently degrades to the loop), the RNG stream identity of
+each run, and cycle/grant/request counters; each run executes inside a
+``sim.run`` span.
 """
 
 from __future__ import annotations
@@ -36,6 +42,8 @@ from repro.arbitration import BusAssignmentPolicy, assignment_for
 from repro.arbitration.memory_arbiter import resolve_memory_contention
 from repro.core.request_models import RequestModel
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.obs.metrics import get_registry, telemetry_enabled
+from repro.obs.spans import span
 from repro.simulation.metrics import MetricsCollector, SimulationResult
 from repro.simulation.vectorized import (
     run_vectorized,
@@ -138,8 +146,28 @@ class MultiprocessorSimulator:
         )
         if backend == "vectorized" and reason is not None:
             raise SimulationError(f"backend='vectorized' unavailable: {reason}")
+        requested_backend = backend
         if backend == "auto":
             backend = "loop" if reason is not None else "vectorized"
+
+        if telemetry_enabled():
+            registry = get_registry()
+            registry.increment("sim.backend", backend=backend)
+            registry.record_event(
+                "sim.backend_selected",
+                backend=backend,
+                requested=requested_backend,
+                scheme=network.scheme,
+                N=network.n_processors,
+                M=network.n_memories,
+                B=network.n_buses,
+            )
+            if requested_backend == "auto" and reason is not None:
+                registry.record_event(
+                    "sim.backend_fallback",
+                    scheme=network.scheme,
+                    reason=reason,
+                )
 
         self._network = network
         self._generator = workload
@@ -174,17 +202,58 @@ class MultiprocessorSimulator:
             raise SimulationError(f"need at least one cycle, got {n_cycles}")
         if warmup < 0:
             raise SimulationError(f"warmup must be >= 0, got {warmup}")
-        generation_rng, arbitration_rng = derive_streams(self._seed)
-        if self._backend == "vectorized":
-            return run_vectorized(
-                self._network,
-                self._generator,
-                n_cycles,
-                warmup,
-                generation_rng,
-                arbitration_rng,
+        root = (
+            self._seed
+            if isinstance(self._seed, np.random.SeedSequence)
+            else np.random.SeedSequence(self._seed)
+        )
+        if telemetry_enabled():
+            entropy = root.entropy
+            get_registry().record_event(
+                "sim.rng",
+                backend=self._backend,
+                scheme=self._network.scheme,
+                entropy=(
+                    [int(e) for e in entropy]
+                    if isinstance(entropy, (list, tuple))
+                    else int(entropy) if entropy is not None else None
+                ),
+                spawn_key=[int(k) for k in root.spawn_key],
             )
-        return self._run_loop(n_cycles, warmup, generation_rng, arbitration_rng)
+        generation_rng, arbitration_rng = derive_streams(root)
+        with span(
+            "sim.run", backend=self._backend, scheme=self._network.scheme
+        ):
+            if self._backend == "vectorized":
+                result = run_vectorized(
+                    self._network,
+                    self._generator,
+                    n_cycles,
+                    warmup,
+                    generation_rng,
+                    arbitration_rng,
+                )
+            else:
+                result = self._run_loop(
+                    n_cycles, warmup, generation_rng, arbitration_rng
+                )
+        if telemetry_enabled():
+            registry = get_registry()
+            registry.increment(
+                "sim.cycles", result.n_cycles, backend=self._backend
+            )
+            if result.grant_counts is not None:
+                registry.increment(
+                    "sim.grants",
+                    int(sum(result.grant_counts)),
+                    backend=self._backend,
+                )
+            registry.increment(
+                "sim.requests",
+                int(round(result.requests_per_cycle * result.n_cycles)),
+                backend=self._backend,
+            )
+        return result
 
     def _run_loop(
         self,

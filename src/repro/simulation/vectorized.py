@@ -38,6 +38,7 @@ import dataclasses
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.obs.metrics import get_registry
 from repro.simulation.metrics import SimulationResult, result_from_arrays
 from repro.topology.crossbar import CrossbarNetwork
 from repro.topology.full import FullBusMemoryNetwork
@@ -390,9 +391,12 @@ def run_vectorized(
     processor_served = np.zeros(network.n_processors, dtype=np.int64)
     trace_chunks: list[BatchTrace] = []
 
+    registry = get_registry()
     produced = 0
     while produced < total:
         chunk = min(_CHUNK, total - produced)
+        registry.increment("sim.vectorized.chunks")
+        registry.increment("sim.vectorized.chunk_cycles", chunk)
         issues, chosen = generator.request_arrays(chunk, generation_rng)
         requested, request_counts, winner = _resolve_stage_one(
             issues, chosen, n_memories, arbitration_rng

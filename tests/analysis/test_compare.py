@@ -1,0 +1,127 @@
+"""Cross-scheme comparison: rankings, figures of merit, paper machines.
+
+Complements the smoke tests in ``test_sweep_compare.py`` with full
+coverage of :mod:`repro.analysis.compare`: every ``SchemeComparison``
+field is cross-checked against the cost model and the closed forms, and
+the Section IV ranking claims are pinned on the paper's machines under
+both request models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.compare import SchemeComparison, compare_schemes
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.core.hierarchy import paper_two_level_model
+from repro.core.request_models import UniformRequestModel
+from repro.topology.cost import cost_report, performance_cost_ratio
+from repro.topology.factory import build_network
+
+
+def _by_scheme(rows):
+    return {row.scheme: row for row in rows}
+
+
+class TestFieldsAgainstGroundTruth:
+    @pytest.mark.parametrize("scheme", ["full", "partial", "kclass", "single"])
+    def test_fields_match_cost_model_and_closed_form(self, scheme):
+        n, b = 16, 8
+        model = UniformRequestModel(n, n, rate=1.0)
+        row = _by_scheme(compare_schemes(n, b, model))[scheme]
+        network = build_network(scheme, n, n, b)
+        report = cost_report(network)
+        assert row.bandwidth == pytest.approx(
+            analytic_bandwidth(network, model), abs=1e-12
+        )
+        assert row.connections == report.connections
+        assert row.max_bus_load == report.max_bus_load
+        assert row.fault_tolerance == report.degree_of_fault_tolerance
+        assert row.bandwidth_per_connection == pytest.approx(
+            performance_cost_ratio(row.bandwidth, report), abs=1e-12
+        )
+
+    def test_fault_tolerance_degrees_match_table_i(self):
+        # Table I: full tolerates B-1 failures, partial B/g - 1, single 0.
+        rows = _by_scheme(
+            compare_schemes(16, 8, UniformRequestModel(16, 16))
+        )
+        assert rows["full"].fault_tolerance == 7
+        assert rows["partial"].fault_tolerance == 3  # g = 2 -> B/g - 1
+        assert rows["single"].fault_tolerance == 0
+
+    def test_comparison_is_frozen(self):
+        row = compare_schemes(8, 4, UniformRequestModel(8, 8))[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            row.bandwidth = 0.0
+
+
+class TestRanking:
+    @pytest.mark.parametrize("rate", [1.0, 0.5])
+    @pytest.mark.parametrize("n,b", [(8, 4), (16, 8), (32, 16)])
+    def test_section_iv_ordering_under_both_models(self, n, b, rate):
+        """crossbar >= full >= {partial, kclass} >= single on paper machines."""
+        for model in (
+            UniformRequestModel(n, n, rate=rate),
+            paper_two_level_model(n, rate=rate),
+        ):
+            rows = _by_scheme(compare_schemes(n, b, model))
+            assert rows["crossbar"].bandwidth >= rows["full"].bandwidth - 1e-9
+            assert rows["full"].bandwidth >= rows["partial"].bandwidth - 1e-9
+            assert rows["full"].bandwidth >= rows["kclass"].bandwidth - 1e-9
+            assert rows["partial"].bandwidth >= rows["single"].bandwidth - 1e-9
+            assert rows["kclass"].bandwidth >= rows["single"].bandwidth - 1e-9
+
+    def test_single_wins_on_bandwidth_per_connection(self):
+        """The paper's cost conclusion: single is the best MBW/connection."""
+        rows = compare_schemes(16, 8, UniformRequestModel(16, 16))
+        multibus = [row for row in rows if row.scheme != "crossbar"]
+        best = max(multibus, key=lambda row: row.bandwidth_per_connection)
+        assert best.scheme == "single"
+
+    def test_result_is_sorted_by_decreasing_bandwidth(self):
+        rows = compare_schemes(16, 8, paper_two_level_model(16, rate=1.0))
+        bandwidths = [row.bandwidth for row in rows]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_custom_scheme_subset_and_order_preserving_sort(self):
+        rows = compare_schemes(
+            16, 8, UniformRequestModel(16, 16), schemes=("single", "full")
+        )
+        assert [row.scheme for row in rows] == ["full", "single"]
+
+
+class TestStructuralSkips:
+    def test_odd_bus_count_drops_partial_only(self):
+        rows = _by_scheme(compare_schemes(16, 3, UniformRequestModel(16, 16)))
+        assert "partial" not in rows  # g = 2 does not divide B = 3
+        assert {"full", "kclass", "single", "crossbar"} <= set(rows)
+
+    def test_all_schemes_skipped_yields_empty_list(self):
+        # B > M is invalid for every bus-limited scheme; crossbar excluded.
+        rows = compare_schemes(
+            4, 9, UniformRequestModel(4, 4), schemes=("full", "single")
+        )
+        assert rows == []
+
+
+class TestAsRow:
+    def test_as_row_shape_and_rounding(self):
+        comparison = SchemeComparison(
+            scheme="full",
+            bandwidth=3.87654,
+            connections=64,
+            max_bus_load=32,
+            fault_tolerance=3,
+            bandwidth_per_connection=0.0605710,
+        )
+        assert comparison.as_row() == {
+            "scheme": "full",
+            "MBW": 3.877,
+            "connections": 64,
+            "max load": 32,
+            "fault tol.": 3,
+            "MBW/conn": 0.06057,
+        }

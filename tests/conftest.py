@@ -10,12 +10,27 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.request_models import UniformRequestModel
 from repro.core.hierarchy import paper_two_level_model
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+else:
+    # "ci" (the default) is fully derandomized: every run replays the
+    # same example sequence, so tier-1 stays deterministic.  Run with
+    # HYPOTHESIS_PROFILE=dev for fresh random examples locally.
+    settings.register_profile(
+        "ci", derandomize=True, max_examples=25, deadline=None
+    )
+    settings.register_profile("dev", max_examples=50, deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

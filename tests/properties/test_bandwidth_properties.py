@@ -1,0 +1,124 @@
+"""Property-based invariants of the closed-form bandwidth equations.
+
+Hypothesis sweeps machine sizes, bus counts and request rates across all
+five connection schemes and asserts the structural laws any memory
+bandwidth must obey — laws the paper uses implicitly throughout
+Section IV:
+
+* more buses never hurt (monotone non-decreasing in ``B``);
+* more traffic never reduces throughput (monotone non-decreasing in
+  ``r``);
+* bandwidth can exceed neither the bus supply ``B``, the module count
+  ``M``, nor the expected offered load ``N * r``;
+* no multiple-bus scheme beats the full crossbar;
+* the hierarchical requesting model with a single trivial cluster level
+  collapses to the uniform model (eq. (1) degenerates to ``1/N``).
+
+The suite runs under the derandomized "ci" profile registered in
+``tests/conftest.py``, so failures replay identically in CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.core.hierarchy import HierarchicalRequestModel
+from repro.core.request_models import UniformRequestModel
+from repro.topology.factory import build_network
+
+# Schemes with a meaningful bus count B (the crossbar has none).
+BUS_SCHEMES = ("full", "single", "partial", "kclass")
+SCHEMES = BUS_SCHEMES + ("crossbar",)
+
+TOL = 1e-9
+
+# Power-of-two machines keep every scheme structurally valid: B divides
+# M for "single", g = 2 divides both M and B for "partial", and K = B
+# classes split M evenly for "kclass".
+n_exponents = st.integers(min_value=3, max_value=5)  # N = M in {8, 16, 32}
+rates = st.floats(min_value=0.05, max_value=1.0)
+
+
+def _bandwidth(scheme: str, n: int, n_buses: int, rate: float) -> float:
+    network = build_network(scheme, n, n, n_buses)
+    return analytic_bandwidth(network, UniformRequestModel(n, n, rate=rate))
+
+
+def _valid_bus_exponents(scheme: str, n_exp: int) -> st.SearchStrategy[int]:
+    # partial with the default g = 2 needs an even B, i.e. exponent >= 1.
+    low = 1 if scheme == "partial" else 0
+    return st.integers(min_value=low, max_value=n_exp)
+
+
+@pytest.mark.parametrize("scheme", BUS_SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate=rates)
+def test_bandwidth_monotone_in_bus_count(scheme, n_exp, data, rate):
+    exps = data.draw(
+        st.lists(
+            _valid_bus_exponents(scheme, n_exp),
+            min_size=2, max_size=2, unique=True,
+        ),
+        label="bus exponents",
+    )
+    b_low, b_high = (2**e for e in sorted(exps))
+    n = 2**n_exp
+    assert (
+        _bandwidth(scheme, n, b_low, rate)
+        <= _bandwidth(scheme, n, b_high, rate) + TOL
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate_pair=st.tuples(rates, rates))
+def test_bandwidth_monotone_in_request_rate(scheme, n_exp, data, rate_pair):
+    b_exp = data.draw(_valid_bus_exponents(scheme, n_exp), label="B exponent")
+    n, n_buses = 2**n_exp, 2**b_exp
+    r_low, r_high = sorted(rate_pair)
+    assert (
+        _bandwidth(scheme, n, n_buses, r_low)
+        <= _bandwidth(scheme, n, n_buses, r_high) + TOL
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate=rates)
+def test_bandwidth_bounded_by_buses_modules_and_load(
+    scheme, n_exp, data, rate
+):
+    b_exp = data.draw(_valid_bus_exponents(scheme, n_exp), label="B exponent")
+    n, n_buses = 2**n_exp, 2**b_exp
+    bandwidth = _bandwidth(scheme, n, n_buses, rate)
+    assert bandwidth >= 0.0
+    if scheme != "crossbar":  # the crossbar has no bus bottleneck
+        assert bandwidth <= n_buses + TOL
+    assert bandwidth <= n + TOL  # M = n modules
+    assert bandwidth <= n * rate + TOL  # expected offered load
+
+
+@pytest.mark.parametrize("scheme", BUS_SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate=rates)
+def test_no_scheme_beats_the_crossbar(scheme, n_exp, data, rate):
+    b_exp = data.draw(_valid_bus_exponents(scheme, n_exp), label="B exponent")
+    n, n_buses = 2**n_exp, 2**b_exp
+    assert (
+        _bandwidth(scheme, n, n_buses, rate)
+        <= _bandwidth("crossbar", n, n, rate) + TOL
+    )
+
+
+@given(n_exp=n_exponents, rate=rates)
+def test_one_cluster_hierarchy_degenerates_to_uniform(n_exp, rate):
+    """A single-level hierarchy with equal fractions is the uniform model."""
+    n = 2**n_exp
+    hier = HierarchicalRequestModel.nxn((n,), (1 / n, 1 / n), rate=rate)
+    unif = UniformRequestModel(n, n, rate=rate)
+    assert hier.symmetric_module_probability() == pytest.approx(
+        unif.symmetric_module_probability(), abs=1e-12
+    )
+    for scheme in BUS_SCHEMES:
+        network = build_network(scheme, n, n, max(2, n // 4))
+        assert analytic_bandwidth(network, hier) == pytest.approx(
+            analytic_bandwidth(network, unif), abs=1e-9
+        )
