@@ -27,7 +27,9 @@ Package map:
 * :mod:`repro.arbitration` — the two-stage arbitration substrate.
 * :mod:`repro.simulation` — synchronous cycle-level Monte-Carlo simulator.
 * :mod:`repro.workloads` — generators, traces, task-graph assignment.
-* :mod:`repro.faults` — bus fault injection and degraded-mode analysis.
+* :mod:`repro.faults` — bus fault injection, stochastic fault/repair
+  timelines, degraded-mode and availability-weighted bandwidth analysis.
+* :mod:`repro.resilience` — retry policies for crash-tolerant execution.
 * :mod:`repro.analysis` — sweeps, cross-scheme comparison, table rendering.
 * :mod:`repro.experiments` — reproduction of every paper table and figure.
 * :mod:`repro.obs` — opt-in telemetry: metrics registry, spans, run
@@ -73,12 +75,22 @@ from repro.exceptions import (
     FaultError,
     ModelError,
     ReproError,
+    RetryExhaustedError,
     SimulationError,
 )
 from repro.faults import (
+    AvailabilityPoint,
     DegradedNetwork,
+    ExponentialFaultProcess,
+    FaultEvent,
+    FaultSchedule,
+    FaultySimulationResult,
+    availability_curve,
     degradation_curve,
+    expected_bandwidth_under_failures,
     fail_buses,
+    scheme_availability_curves,
+    simulate_with_faults,
     verify_fault_tolerance_degree,
 )
 from repro.obs import (
@@ -94,6 +106,7 @@ from repro.obs import (
     telemetry_enabled,
     write_manifest,
 )
+from repro.resilience import RetryPolicy, retry_call
 from repro.simulation import (
     MultiprocessorSimulator,
     ResubmissionSimulator,
@@ -122,6 +135,7 @@ __all__ = [
     "SimulationError",
     "FaultError",
     "ExperimentError",
+    "RetryExhaustedError",
     # request models
     "RequestModel",
     "MatrixRequestModel",
@@ -158,6 +172,18 @@ __all__ = [
     "fail_buses",
     "verify_fault_tolerance_degree",
     "degradation_curve",
+    "FaultEvent",
+    "FaultSchedule",
+    "ExponentialFaultProcess",
+    "FaultySimulationResult",
+    "simulate_with_faults",
+    "AvailabilityPoint",
+    "expected_bandwidth_under_failures",
+    "availability_curve",
+    "scheme_availability_curves",
+    # resilience
+    "RetryPolicy",
+    "retry_call",
     # analysis
     "bandwidth_sweep",
     "bandwidth_sweep_with_skips",

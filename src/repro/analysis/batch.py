@@ -90,7 +90,7 @@ def binomial_pmf_grid(n: int, ps: Sequence[float]) -> np.ndarray:
     costs one ``gammaln`` pass instead of one per rate.
     """
     if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
+        raise ConfigurationError(f"n must be non-negative, got {n}")
     ps = np.asarray(
         [validate_probability(float(p), "p") for p in ps], dtype=float
     )

@@ -18,7 +18,16 @@ those grids embarrassingly parallel without giving up reproducibility:
 * **Keyed on-disk cache** — :class:`ResultCache` stores each cell's
   JSON record under a SHA-256 key of its full parameterization, so
   repeated table builds skip completed cells and only compute what
-  changed.
+  changed.  Entries are checksummed; files that fail to parse or to
+  verify are *quarantined* (moved aside and recomputed), never raised.
+* **Crash tolerance** — with a
+  :class:`~repro.resilience.retry.RetryPolicy`, :func:`parallel_map`
+  retries failing cells with deterministic backoff, survives worker
+  crashes (``BrokenProcessPool`` respawns the pool and retries only the
+  lost cells), watches for stalls via the policy's timeout, and — since
+  every completed cell is written to the cache the moment it finishes —
+  an interrupted sweep restarted with the same cache resumes from the
+  completed cells (checkpoint/resume for free).
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import json
 import os
 import time
 from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 import numpy as np
@@ -36,9 +46,10 @@ import numpy as np
 from repro.analysis.evaluate import analytic_bandwidth
 from repro.analysis.sweep import paper_model_pair
 from repro.core.request_models import RequestModel
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, RetryExhaustedError
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
+from repro.resilience.retry import RetryPolicy
 from repro.simulation.engine import simulate_bandwidth
 from repro.topology.factory import build_network
 
@@ -47,6 +58,7 @@ __all__ = [
     "seed_fingerprint",
     "ResultCache",
     "parallel_map",
+    "sweep_cell_specs",
     "simulated_bandwidth_sweep",
 ]
 
@@ -96,9 +108,18 @@ class ResultCache:
     concurrent workers of the same sweep can share a cache directory
     without torn entries.  Values must be JSON-serializable — sweep
     records (dicts of numbers, strings and booleans) are.
+
+    Entries are stored in a checksummed envelope (format version +
+    SHA-256 of the canonical value).  A file that fails to parse or to
+    verify is *quarantined*: moved to the ``quarantine/`` subdirectory
+    (for post-mortem inspection) and treated as a miss, so a corrupted
+    disk never turns into a raised ``JSONDecodeError`` mid-sweep.
+    Pre-envelope entries (bare values) are still readable.
     """
 
     _MISSING = object()
+    _FORMAT = 1
+    _FORMAT_KEY = "__cache_format__"
 
     def __init__(self, directory: str | Path):
         self._dir = Path(directory)
@@ -109,33 +130,86 @@ class ResultCache:
         """The backing directory."""
         return self._dir
 
+    @property
+    def quarantine_directory(self) -> Path:
+        """Where corrupt entries are moved (may not exist yet)."""
+        return self._dir / "quarantine"
+
     @staticmethod
     def key(params: dict[str, object]) -> str:
         """Stable digest of a parameter dict (order-insensitive)."""
         canonical = json.dumps(params, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode()).hexdigest()
 
+    @staticmethod
+    def value_digest(value: object) -> str:
+        """Content checksum stored alongside (and verified against) a value."""
+        canonical = json.dumps(value, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
     def _path(self, key: str) -> Path:
         return self._dir / f"{key}.json"
 
-    def get(self, key: str, default: object = None) -> object:
-        """Return the cached value for ``key``, or ``default``."""
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad entry aside; losing the race to another worker is fine."""
+        registry = get_registry()
+        target = self.quarantine_directory / path.name
         try:
-            with open(self._path(key)) as handle:
-                return json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+            self.quarantine_directory.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except FileNotFoundError:
+            return
+        registry.increment("parallel.disk_cache.quarantined", reason=reason)
+        registry.record_event(
+            "cache.quarantined", file=path.name, reason=reason
+        )
+
+    def get(self, key: str, default: object = None) -> object:
+        """Return the verified cached value for ``key``, or ``default``.
+
+        Unparseable or checksum-mismatched entries are quarantined and
+        reported as misses instead of raising.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
             return default
+        except json.JSONDecodeError:
+            self._quarantine(path, "unparseable")
+            return default
+        if isinstance(entry, dict) and self._FORMAT_KEY in entry:
+            value = entry.get("value")
+            if entry.get("sha256") != self.value_digest(value):
+                self._quarantine(path, "checksum-mismatch")
+                return default
+            return value
+        return entry  # legacy bare value
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
 
     def put(self, key: str, value: object) -> None:
-        """Store ``value`` under ``key`` atomically."""
+        """Store ``value`` under ``key`` atomically, with its checksum."""
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        envelope = {
+            self._FORMAT_KEY: self._FORMAT,
+            "sha256": self.value_digest(value),
+            "value": value,
+        }
         with open(tmp, "w") as handle:
-            json.dump(value, handle)
+            json.dump(envelope, handle)
         os.replace(tmp, path)
+
+    def quarantined_files(self) -> list[str]:
+        """Names of quarantined entries, sorted."""
+        if not self.quarantine_directory.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.quarantine_directory.glob("*.json")
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self._dir.glob("*.json"))
@@ -165,6 +239,7 @@ def parallel_map(
     n_workers: int | None = None,
     cache: "ResultCache | str | Path | None" = None,
     cache_params: Callable[[object], dict] | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> list:
     """Apply a picklable ``func`` over ``items``, preserving input order.
 
@@ -181,16 +256,33 @@ def parallel_map(
     cache:
         Optional :class:`ResultCache` (or a directory path for one).
         Items whose key is present are returned from disk without
-        calling ``func``; fresh results are stored after computing.
+        calling ``func``; fresh results are stored the moment they are
+        computed, which doubles as a checkpoint: an interrupted sweep
+        restarted against the same cache resumes from completed cells.
     cache_params:
         Maps an item to its JSON-safe parameter dict for
         :meth:`ResultCache.key`; required when ``cache`` is given.
+    retry_policy:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` making the
+        map crash-tolerant: failing cells are retried with deterministic
+        backoff; a crashed worker (``BrokenProcessPool``) respawns the
+        pool and retries only the lost cells; when no cell completes for
+        ``timeout_seconds`` the stalled pool is abandoned and its
+        outstanding cells retried.  A cell that exhausts its budget
+        raises :class:`~repro.exceptions.RetryExhaustedError`.  With
+        ``None`` (default) the first failure propagates unchanged.
     """
     items = list(items)
     if cache is not None and cache_params is None:
         raise ConfigurationError("cache requires a cache_params function")
     cache = _as_cache(cache)
     registry = get_registry()
+    raw_errors = retry_policy is None
+    policy = (
+        retry_policy
+        if retry_policy is not None
+        else RetryPolicy(max_attempts=1, backoff_seconds=0.0)
+    )
 
     results: list = [None] * len(items)
     pending: list[tuple[int, object, str | None]] = []
@@ -216,29 +308,158 @@ def parallel_map(
             seconds=round(seconds, 6),
         )
 
+    def _record_retry(index: int, attempt: int, reason: str) -> None:
+        registry.increment("parallel.retries", reason=reason)
+        registry.record_event(
+            "parallel.retry", index=index, attempt=attempt, reason=reason
+        )
+
+    def _exhausted(index: int, attempt: int, exc: BaseException):
+        if raw_errors:
+            raise exc
+        raise RetryExhaustedError(
+            f"cell {index} failed after {attempt} attempt(s): {exc!r}",
+            attempts=attempt,
+            last_error=exc,
+        ) from exc
+
     if n_workers is not None and n_workers > 1 and len(pending) > 1:
         with span("parallel.map", mode="pool", tasks=len(pending)):
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=n_workers
-            ) as executor:
-                futures = {
-                    executor.submit(_timed_call, func, item): (index, key)
-                    for index, item, key in pending
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    index, key = futures[future]
-                    results[index], seconds, pid = future.result()
-                    _record_task(seconds, pid, "pool")
-                    if cache is not None:
-                        cache.put(key, results[index])
+            _pool_map(
+                func,
+                pending,
+                results,
+                n_workers,
+                cache,
+                policy,
+                _record_task,
+                _record_retry,
+                _exhausted,
+                registry,
+            )
     else:
         with span("parallel.map", mode="serial", tasks=len(pending)):
             for index, item, key in pending:
-                results[index], seconds, pid = _timed_call(func, item)
+                attempt = 1
+                while True:
+                    try:
+                        results[index], seconds, pid = _timed_call(func, item)
+                        break
+                    except Exception as exc:
+                        if not policy.should_retry(attempt):
+                            _exhausted(index, attempt, exc)
+                        _record_retry(index, attempt, type(exc).__name__)
+                        time.sleep(policy.delay(attempt, token=str(index)))
+                        attempt += 1
                 _record_task(seconds, pid, "serial")
                 if cache is not None:
                     cache.put(key, results[index])
     return results
+
+
+def _pool_map(
+    func: Callable,
+    pending: list[tuple[int, object, str | None]],
+    results: list,
+    n_workers: int,
+    cache: ResultCache | None,
+    policy: RetryPolicy,
+    record_task: Callable,
+    record_retry: Callable,
+    exhausted: Callable,
+    registry,
+) -> None:
+    """Pool execution in waves: each wave retries the previous one's losses.
+
+    A healthy run is one wave — identical to a plain ``as_completed``
+    fan-out.  Failures split into three kinds: a cell whose ``func``
+    raised (retried per policy), lost cells of a crashed pool
+    (``BrokenProcessPool`` — the pool is respawned for the next wave),
+    and a stall (no completion for ``policy.timeout_seconds`` — the pool
+    is abandoned, its outstanding cells retried).  Every completed cell
+    lands in ``results`` (and the cache) the moment its future resolves,
+    so crashes can only ever cost in-flight work.
+    """
+    wave = [(index, item, key, 1) for index, item, key in pending]
+    while wave:
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=n_workers
+        )
+        futures = {
+            executor.submit(_timed_call, func, item): (index, item, key, att)
+            for index, item, key, att in wave
+        }
+        next_wave: list[tuple[int, object, str | None, int]] = []
+        broken = stalled = False
+
+        def _failed(
+            index: int,
+            item: object,
+            key: str | None,
+            attempt: int,
+            reason: str,
+            exc: BaseException,
+        ) -> None:
+            if not policy.should_retry(attempt):
+                executor.shutdown(wait=False, cancel_futures=True)
+                exhausted(index, attempt, exc)
+            record_retry(index, attempt, reason)
+            next_wave.append((index, item, key, attempt + 1))
+
+        remaining = set(futures)
+        while remaining:
+            done, remaining = concurrent.futures.wait(
+                remaining,
+                timeout=policy.timeout_seconds,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            if not done:
+                stalled = True
+                break
+            for future in done:
+                index, item, key, attempt = futures[future]
+                try:
+                    result, seconds, pid = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    _failed(index, item, key, attempt, "worker-crash", exc)
+                except Exception as exc:
+                    _failed(
+                        index, item, key, attempt, type(exc).__name__, exc
+                    )
+                else:
+                    results[index] = result
+                    record_task(seconds, pid, "pool")
+                    if cache is not None:
+                        cache.put(key, result)
+        if stalled:
+            registry.increment("parallel.timeouts")
+            for future in remaining:
+                future.cancel()
+                index, item, key, attempt = futures[future]
+                _failed(
+                    index,
+                    item,
+                    key,
+                    attempt,
+                    "stall-timeout",
+                    TimeoutError(
+                        f"no completion within {policy.timeout_seconds}s"
+                    ),
+                )
+        executor.shutdown(
+            wait=not (broken or stalled), cancel_futures=True
+        )
+        if next_wave:
+            if broken:
+                registry.increment("parallel.pool_respawns")
+            time.sleep(
+                max(
+                    policy.delay(att - 1, token=str(index))
+                    for index, _, _, att in next_wave
+                )
+            )
+        wave = next_wave
 
 
 # ---------------------------------------------------------------------------
@@ -294,7 +515,7 @@ def _simulated_cell_params(spec: dict) -> dict[str, object]:
     }
 
 
-def simulated_bandwidth_sweep(
+def sweep_cell_specs(
     scheme: str,
     n_processors: int,
     bus_counts: Sequence[int],
@@ -304,19 +525,16 @@ def simulated_bandwidth_sweep(
     n_cycles: int = 20_000,
     seed: int | np.random.SeedSequence | None = 0,
     backend: str = "auto",
-    n_workers: int | None = None,
-    cache: "ResultCache | str | Path | None" = None,
     **network_kwargs,
-) -> list[dict[str, object]]:
-    """Monte-Carlo bandwidth over a (B, r, model) grid, in parallel.
+) -> list[dict]:
+    """Build the per-cell work specs of a simulated sweep, seeds attached.
 
-    The simulated counterpart of
-    :func:`repro.analysis.sweep.bandwidth_sweep`: one record per valid
-    grid cell with both the closed-form (``analytic``) and simulated
-    (``bandwidth`` ± ``ci95``) values.  Every cell simulates under its
-    own :class:`~numpy.random.SeedSequence` child spawned by cell index
-    from ``seed`` — records are identical for any ``n_workers`` and for
-    cache hits vs recomputation.
+    The cell list (and each cell's spawned
+    :class:`~numpy.random.SeedSequence`) is a pure function of the
+    arguments, so any executor — serial, pooled, or a chaos-testing
+    harness wrapping :func:`_simulated_cell` — computes identical
+    records from the same specs.  Invalid ``(scheme, B)`` combinations
+    are skipped like the blank cells of the paper's tables.
     """
     if n_memories is None:
         n_memories = n_processors
@@ -350,6 +568,47 @@ def simulated_bandwidth_sweep(
                 )
     for cell, cell_seed in zip(cells, spawn_seeds(seed, len(cells))):
         cell["seed"] = cell_seed
+    return cells
+
+
+def simulated_bandwidth_sweep(
+    scheme: str,
+    n_processors: int,
+    bus_counts: Sequence[int],
+    rates: Sequence[float],
+    model_factory: Callable[[int, float], dict[str, RequestModel]] = paper_model_pair,
+    n_memories: int | None = None,
+    n_cycles: int = 20_000,
+    seed: int | np.random.SeedSequence | None = 0,
+    backend: str = "auto",
+    n_workers: int | None = None,
+    cache: "ResultCache | str | Path | None" = None,
+    retry_policy: RetryPolicy | None = None,
+    **network_kwargs,
+) -> list[dict[str, object]]:
+    """Monte-Carlo bandwidth over a (B, r, model) grid, in parallel.
+
+    The simulated counterpart of
+    :func:`repro.analysis.sweep.bandwidth_sweep`: one record per valid
+    grid cell with both the closed-form (``analytic``) and simulated
+    (``bandwidth`` ± ``ci95``) values.  Every cell simulates under its
+    own :class:`~numpy.random.SeedSequence` child spawned by cell index
+    from ``seed`` — records are identical for any ``n_workers``, for
+    cache hits vs recomputation, and across crash-induced retries when a
+    ``retry_policy`` is set.
+    """
+    cells = sweep_cell_specs(
+        scheme,
+        n_processors,
+        bus_counts,
+        rates,
+        model_factory=model_factory,
+        n_memories=n_memories,
+        n_cycles=n_cycles,
+        seed=seed,
+        backend=backend,
+        **network_kwargs,
+    )
     with span("sweep.simulated", scheme=scheme, cells=len(cells)):
         return parallel_map(
             _simulated_cell,
@@ -357,4 +616,5 @@ def simulated_bandwidth_sweep(
             n_workers=n_workers,
             cache=cache,
             cache_params=_simulated_cell_params,
+            retry_policy=retry_policy,
         )

@@ -22,6 +22,8 @@ from collections.abc import Sequence
 import numpy as np
 from scipy.special import gammaln
 
+from repro.exceptions import ConfigurationError, ModelError
+
 __all__ = [
     "binomial_pmf",
     "poisson_binomial_pmf",
@@ -35,8 +37,9 @@ __all__ = [
 def validate_probability(p: float, name: str = "p") -> float:
     """Validate that ``p`` lies in the closed interval [0, 1] and return it.
 
-    Raises ``ValueError`` otherwise.  Small floating point excursions from
-    repeated products (e.g. ``1 + 1e-16``) are clamped rather than rejected.
+    Raises :class:`~repro.exceptions.ModelError` (a ``ValueError``)
+    otherwise.  Small floating point excursions from repeated products
+    (e.g. ``1 + 1e-16``) are clamped rather than rejected.
     """
     p = float(p)
     eps = 1e-9
@@ -45,7 +48,7 @@ def validate_probability(p: float, name: str = "p") -> float:
     if 1.0 < p <= 1.0 + eps:
         return 1.0
     if not 0.0 <= p <= 1.0:
-        raise ValueError(f"{name} must be a probability in [0, 1], got {p!r}")
+        raise ModelError(f"{name} must be a probability in [0, 1], got {p!r}")
     return p
 
 
@@ -59,7 +62,7 @@ def binomial_pmf(n: int, p: float) -> np.ndarray:
     array([0.25, 0.5 , 0.25])
     """
     if n < 0:
-        raise ValueError(f"n must be non-negative, got {n}")
+        raise ConfigurationError(f"n must be non-negative, got {n}")
     p = validate_probability(p)
     if n == 0:
         return np.ones(1)
@@ -110,7 +113,7 @@ def expected_capped(pmf: np.ndarray, cap: int) -> float:
     buses serves ``min(i, cap)`` of the ``i`` requested modules.
     """
     if cap < 0:
-        raise ValueError(f"cap must be non-negative, got {cap}")
+        raise ConfigurationError(f"cap must be non-negative, got {cap}")
     i = np.arange(len(pmf))
     return float(np.sum(np.minimum(i, cap) * pmf))
 
@@ -122,7 +125,7 @@ def tail_excess(pmf: np.ndarray, cap: int) -> float:
     ``expected_capped(pmf, cap) == mean(pmf) - tail_excess(pmf, cap)``.
     """
     if cap < 0:
-        raise ValueError(f"cap must be non-negative, got {cap}")
+        raise ConfigurationError(f"cap must be non-negative, got {cap}")
     i = np.arange(len(pmf))
     return float(np.sum(np.maximum(i - cap, 0) * pmf))
 

@@ -44,6 +44,7 @@ from repro.core.binomial import (
     poisson_binomial_pmf,
     validate_probability,
 )
+from repro.exceptions import ConfigurationError
 from repro.obs.metrics import get_registry
 
 __all__ = [
@@ -84,7 +85,9 @@ class PmfCache:
 
     def __init__(self, maxsize: int = 4096):
         if maxsize < 1:
-            raise ValueError(f"maxsize must be positive, got {maxsize}")
+            raise ConfigurationError(
+                f"maxsize must be positive, got {maxsize}"
+            )
         self._maxsize = int(maxsize)
         self._store: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._lock = threading.Lock()

@@ -13,20 +13,28 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` library."""
 
 
-class ConfigurationError(ReproError):
+class ConfigurationError(ReproError, ValueError):
     """A system was configured with structurally invalid parameters.
 
     Examples: a multiple bus network with more buses than memory modules,
     a partial bus network whose group count does not divide the bus count,
     or a K-class network with ``K > B``.
+
+    Also subclasses :class:`ValueError`: these are invalid argument
+    values, so callers written against the standard library idiom
+    (``except ValueError``) keep working while library-aware callers can
+    catch the precise type.
     """
 
 
-class ModelError(ReproError):
+class ModelError(ReproError, ValueError):
     """A request model was constructed with invalid probabilities.
 
     Examples: request fractions that do not sum to one, a negative request
     rate, or a hierarchy whose cluster sizes do not factor the machine size.
+
+    Subclasses :class:`ValueError` for the same reason as
+    :class:`ConfigurationError`.
     """
 
 
@@ -48,3 +56,21 @@ class FaultError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was asked for an unknown table or figure."""
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation kept failing through its whole retry budget.
+
+    Raised by the crash-tolerant sweep executor
+    (:func:`repro.analysis.parallel.parallel_map` with a
+    :class:`~repro.resilience.RetryPolicy`) and by
+    :func:`repro.resilience.retry_call` once ``max_attempts`` is spent.
+    The final underlying failure is chained as ``__cause__`` and also
+    kept in :attr:`last_error`.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last_error: BaseException | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error

@@ -17,6 +17,7 @@ from repro.exceptions import ExperimentError
 from repro.experiments import (
     ablation,
     approximation,
+    availability,
     claims,
     figures,
     nxm,
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "nxm": nxm.run,
     "resubmission": resubmission.run,
     "approximation": approximation.run,
+    "availability": availability.run,
 }
 
 

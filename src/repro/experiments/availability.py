@@ -1,0 +1,59 @@
+"""E14 — availability curves: expected bandwidth under random bus failures.
+
+The paper motivates the K-class scheme with fault tolerance (Table I,
+Section II-B) but never quantifies what random failures cost each scheme
+in delivered bandwidth.  This experiment computes ``EBW(p)`` — the
+bandwidth averaged over i.i.d. per-bus failure sets with failure
+probability ``p`` — for the four multiple-bus schemes under both the
+hierarchical and uniform request models (exact weighted enumeration at
+the default bus count; see :mod:`repro.faults.availability`).
+
+Structural experiment: the paper prints no availability numbers, so
+there is nothing to compare against (``comparisons`` is empty) — the
+records *are* the contribution, quantifying the full-vs-K-class-vs-
+partial trade-off the paper argues only qualitatively.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.experiments.base import ExperimentResult
+from repro.faults.availability import scheme_availability_curves
+
+__all__ = ["run"]
+
+_PROBABILITIES = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2)
+
+
+def run(
+    n: int = 8,
+    b: int = 4,
+    rate: float = 1.0,
+    probabilities: tuple[float, ...] = _PROBABILITIES,
+    n_cycles: int = 2_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Availability curves for an ``N x N`` system with ``b`` buses."""
+    records = scheme_availability_curves(
+        n,
+        b,
+        probabilities,
+        rate=rate,
+        n_cycles=n_cycles,
+        seed=seed,
+    )
+    rendered = render_table(
+        records,
+        title=(
+            f"EBW(p): expected bandwidth with each of the {b} buses "
+            f"independently failed w.p. p (N = M = {n}, r = {rate}; "
+            "K-class failure sets simulated, others closed-form)"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="availability",
+        title="E14: availability-weighted bandwidth under bus failures",
+        records=records,
+        rendered=rendered,
+        comparisons=[],
+    )

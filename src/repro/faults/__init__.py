@@ -1,4 +1,4 @@
-"""Fault injection and degraded-mode bandwidth analysis."""
+"""Fault injection, stochastic fault/repair timelines, and availability."""
 
 from repro.faults.analysis import (
     DegradationPoint,
@@ -7,7 +7,22 @@ from repro.faults.analysis import (
     simulated_degraded_bandwidth,
     verify_fault_tolerance_degree,
 )
+from repro.faults.availability import (
+    AvailabilityPoint,
+    availability_curve,
+    conditional_degraded_bandwidth,
+    expected_bandwidth_under_failures,
+    scheme_availability_curves,
+)
 from repro.faults.injection import DegradedNetwork, fail_buses
+from repro.faults.stochastic import (
+    ExponentialFaultProcess,
+    FaultEvent,
+    FaultSchedule,
+    FaultSegment,
+    FaultySimulationResult,
+    simulate_with_faults,
+)
 
 __all__ = [
     "DegradedNetwork",
@@ -17,4 +32,15 @@ __all__ = [
     "simulated_degraded_bandwidth",
     "DegradationPoint",
     "degradation_curve",
+    "FaultEvent",
+    "FaultSegment",
+    "FaultSchedule",
+    "ExponentialFaultProcess",
+    "FaultySimulationResult",
+    "simulate_with_faults",
+    "AvailabilityPoint",
+    "conditional_degraded_bandwidth",
+    "expected_bandwidth_under_failures",
+    "availability_curve",
+    "scheme_availability_curves",
 ]

@@ -1,0 +1,316 @@
+"""Availability-weighted bandwidth: ``EBW(p)`` under random bus failures.
+
+Section II-B argues the fault-tolerance trade-off between the schemes
+only qualitatively (Table I's degrees of fault tolerance).  This module
+quantifies it: with each bus independently failed with probability
+``p``, the *expected* bandwidth
+
+.. math::
+
+    EBW(p) = \\sum_{F \\subseteq \\{0..B-1\\}} p^{|F|} (1-p)^{B-|F|}
+             \\; BW(F)
+
+weights every failure set by its probability, where ``BW(F)`` is the
+degraded bandwidth with set ``F`` down (closed forms for full / partial
+/ single — :func:`repro.faults.analysis.analytic_degraded_bandwidth` —
+and the matching-arbiter simulation for K-class, whose failures break
+the nested-connectivity structure of eq. (11)).  ``EBW(0)`` is exactly
+the healthy analytic bandwidth, a property the acceptance tests pin to
+1e-9.
+
+For small ``B`` the sum is enumerated exactly (the full scheme further
+collapses to ``B + 1`` terms by symmetry); beyond ``max_exact_buses``
+failure sets are Monte-Carlo sampled.  Availability curves share one
+conditional-bandwidth table across all ``p`` values, so the expensive
+degraded evaluations happen once per distinct failure set, not once per
+grid point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.evaluate import analytic_bandwidth
+from repro.core.request_models import RequestModel
+from repro.exceptions import FaultError
+from repro.faults.analysis import (
+    analytic_degraded_bandwidth,
+    simulated_degraded_bandwidth,
+)
+from repro.obs.metrics import get_registry
+from repro.topology.full import FullBusMemoryNetwork
+from repro.topology.network import MultipleBusNetwork
+from repro.topology.partial import PartialBusNetwork
+from repro.topology.single import SingleBusMemoryNetwork
+
+__all__ = [
+    "AvailabilityPoint",
+    "conditional_degraded_bandwidth",
+    "expected_bandwidth_under_failures",
+    "availability_curve",
+    "scheme_availability_curves",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class AvailabilityPoint:
+    """``EBW`` at one per-bus failure probability.
+
+    ``retained_fraction`` is ``expected_bandwidth / healthy_bandwidth``
+    — the share of fault-free bandwidth the scheme keeps on average;
+    ``n_failure_sets`` counts the distinct degraded evaluations behind
+    the value (enumerated or sampled).
+    """
+
+    p: float
+    expected_bandwidth: float
+    healthy_bandwidth: float
+    retained_fraction: float
+    method: str
+    n_failure_sets: int
+
+
+def conditional_degraded_bandwidth(
+    network: MultipleBusNetwork,
+    model: RequestModel,
+    failed_buses: Iterable[int],
+    n_cycles: int = 4_000,
+    seed: int | None = 0,
+) -> float:
+    """Bandwidth conditional on exactly ``failed_buses`` being down.
+
+    Dispatches to the cheapest faithful evaluator: the healthy analytic
+    value for the empty set, zero for all buses down, the degraded
+    closed forms for full / partial / single, and the matching-arbiter
+    simulation otherwise (K-class).
+    """
+    failed = frozenset(int(b) for b in failed_buses)
+    if not failed:
+        return analytic_bandwidth(network, model)
+    if len(failed) >= network.n_buses:
+        return 0.0
+    if isinstance(
+        network, (PartialBusNetwork, SingleBusMemoryNetwork)
+    ) or (
+        isinstance(network, FullBusMemoryNetwork)
+        and network.scheme != "crossbar"
+    ):
+        return analytic_degraded_bandwidth(network, model, set(failed))
+    return simulated_degraded_bandwidth(
+        network, model, set(failed), n_cycles=n_cycles, seed=seed
+    )
+
+
+def _table_key(
+    network: MultipleBusNetwork, failed: frozenset[int]
+) -> object:
+    """Canonical memo key: full schemes depend only on the failure count."""
+    if isinstance(network, FullBusMemoryNetwork) and network.scheme == "full":
+        return len(failed)
+    return failed
+
+
+def _conditional(
+    network: MultipleBusNetwork,
+    model: RequestModel,
+    failed: frozenset[int],
+    table: dict,
+    n_cycles: int,
+    seed: int | None,
+    method: str,
+) -> float:
+    key = _table_key(network, failed)
+    if key not in table:
+        table[key] = conditional_degraded_bandwidth(
+            network, model, failed, n_cycles=n_cycles, seed=seed
+        )
+        get_registry().increment(
+            "availability.failure_sets", method=method
+        )
+    return table[key]
+
+
+def expected_bandwidth_under_failures(
+    network: MultipleBusNetwork,
+    model: RequestModel,
+    p: float,
+    method: str = "auto",
+    n_samples: int = 512,
+    n_cycles: int = 4_000,
+    seed: int | None = 0,
+    max_exact_buses: int = 12,
+    _table: dict | None = None,
+) -> AvailabilityPoint:
+    """Expected bandwidth with each bus independently failed w.p. ``p``.
+
+    Parameters
+    ----------
+    method:
+        ``"exact"`` (weighted enumeration of all ``2^B`` failure sets),
+        ``"montecarlo"`` (``n_samples`` Bernoulli-sampled sets), or
+        ``"auto"`` — exact up to ``max_exact_buses`` buses.
+    n_cycles / seed:
+        Passed to the degraded simulation for schemes without a closed
+        form; ``seed`` also drives Monte-Carlo failure-set sampling.
+    _table:
+        Internal: a shared conditional-bandwidth memo, so curves reuse
+        degraded evaluations across grid points.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise FaultError(f"failure probability must be in [0, 1], got {p}")
+    if network.scheme == "crossbar":
+        raise FaultError("crossbars fail by crosspoint, not by bus")
+    if method not in ("auto", "exact", "montecarlo"):
+        raise FaultError(
+            f"method must be 'auto', 'exact' or 'montecarlo': {method!r}"
+        )
+    b = network.n_buses
+    if method == "auto":
+        method = "exact" if b <= max_exact_buses else "montecarlo"
+    if method == "exact" and b > 24:
+        raise FaultError(
+            f"exact enumeration over 2^{b} failure sets is intractable; "
+            "use method='montecarlo'"
+        )
+    table = _table if _table is not None else {}
+    healthy = _conditional(
+        network, model, frozenset(), table, n_cycles, seed, method
+    )
+
+    if method == "exact":
+        expected = 0.0
+        n_sets = 0
+        for f in range(b + 1):
+            weight = p**f * (1.0 - p) ** (b - f)
+            if weight == 0.0:
+                continue
+            for combo in itertools.combinations(range(b), f):
+                expected += weight * _conditional(
+                    network,
+                    model,
+                    frozenset(combo),
+                    table,
+                    n_cycles,
+                    seed,
+                    method,
+                )
+                n_sets += 1
+    else:
+        if n_samples < 1:
+            raise FaultError(f"n_samples must be >= 1, got {n_samples}")
+        rng = np.random.default_rng(seed)
+        masks = rng.random((n_samples, b)) < p
+        values = [
+            _conditional(
+                network,
+                model,
+                frozenset(np.flatnonzero(mask).tolist()),
+                table,
+                n_cycles,
+                seed,
+                method,
+            )
+            for mask in masks
+        ]
+        expected = float(np.mean(values))
+        n_sets = n_samples
+
+    get_registry().record_event(
+        "availability.point",
+        scheme=network.scheme,
+        p=p,
+        method=method,
+        expected_bandwidth=round(expected, 6),
+    )
+    return AvailabilityPoint(
+        p=float(p),
+        expected_bandwidth=float(expected),
+        healthy_bandwidth=float(healthy),
+        retained_fraction=float(expected / healthy) if healthy else 0.0,
+        method=method,
+        n_failure_sets=n_sets,
+    )
+
+
+def availability_curve(
+    network: MultipleBusNetwork,
+    model: RequestModel,
+    probabilities: Sequence[float],
+    **kwargs,
+) -> list[AvailabilityPoint]:
+    """``EBW(p)`` over a grid of failure probabilities.
+
+    All points share one conditional-bandwidth table, so each distinct
+    failure set is evaluated once no matter how fine the ``p`` grid is.
+    """
+    table: dict = {}
+    return [
+        expected_bandwidth_under_failures(
+            network, model, p, _table=table, **kwargs
+        )
+        for p in probabilities
+    ]
+
+
+def scheme_availability_curves(
+    n_processors: int,
+    n_buses: int,
+    probabilities: Sequence[float],
+    rate: float = 1.0,
+    n_memories: int | None = None,
+    schemes: Sequence[str] = ("full", "partial", "single", "kclass"),
+    n_cycles: int = 4_000,
+    seed: int | None = 0,
+    method: str = "auto",
+) -> list[dict[str, object]]:
+    """Per-scheme, per-model ``EBW(p)`` records (one per grid point).
+
+    Uses :func:`repro.analysis.sweep.paper_model_pair` — the paper's
+    hierarchical model and the uniform reference — for every scheme that
+    admits ``(N, M, B)``; schemes whose constructor rejects the shape
+    are skipped like the blank cells of the paper's tables.
+    """
+    from repro.analysis.sweep import paper_model_pair
+    from repro.exceptions import ConfigurationError
+    from repro.topology.factory import build_network
+
+    if n_memories is None:
+        n_memories = n_processors
+    models = paper_model_pair(n_processors, rate)
+    records: list[dict[str, object]] = []
+    for scheme in schemes:
+        try:
+            network = build_network(
+                scheme, n_processors, n_memories, n_buses
+            )
+        except ConfigurationError:
+            get_registry().increment(
+                "analysis.cells_skipped", scheme=scheme, reason="invalid-config"
+            )
+            continue
+        for model_name, model in models.items():
+            points = availability_curve(
+                network,
+                model,
+                probabilities,
+                n_cycles=n_cycles,
+                seed=seed,
+                method=method,
+            )
+            for point in points:
+                records.append(
+                    {
+                        "scheme": scheme,
+                        "model": model_name,
+                        "p": point.p,
+                        "expected_bw": round(point.expected_bandwidth, 4),
+                        "healthy_bw": round(point.healthy_bandwidth, 4),
+                        "retained": round(point.retained_fraction, 4),
+                        "method": point.method,
+                    }
+                )
+    return records

@@ -1,0 +1,613 @@
+"""Stochastic bus fault/repair processes driven through the simulator.
+
+:class:`~repro.faults.injection.DegradedNetwork` models a *static*
+snapshot — a hand-picked failure set that holds for a whole run.  This
+module generalizes that snapshot to a trajectory: a
+:class:`FaultSchedule` is an explicit timeline of per-bus fail/repair
+events (built by hand or drawn from the MTBF/MTTR renewal process of
+:class:`ExponentialFaultProcess`), and :func:`simulate_with_faults`
+replays it through the Monte-Carlo engine so the topology's connection
+matrices change mid-run.
+
+Execution model
+---------------
+The schedule partitions the run into *segments* of constant failure set.
+All request draws are materialized up front with
+:meth:`~repro.workloads.generator.ModelRequestGenerator.request_arrays`,
+which consumes the generation stream bit-identically to per-cycle
+iteration — so the request stream a seed produces is independent of how
+the schedule slices the run, and a schedule that fails set ``F`` at
+cycle 0 and never repairs reproduces the static
+``DegradedNetwork(base, F)`` run cycle for cycle (the differential test
+suite locks this down).  Each segment then runs under the matching
+arbiter (loop backend) or the closed-form degraded assigners of
+:mod:`repro.simulation.vectorized` (batch backend); both agree on grant
+counts because the count per cycle is a deterministic function of the
+requested-module set.
+
+Cycles in which *every* bus is down are "blackouts": the engine records
+the issued requests with zero grants and carries on — faults degrade
+the run, they never crash it.
+
+Blocked requests follow the paper's assumption 5 (dropped) by default.
+With ``blocked="resubmit"`` a request aimed at a momentarily
+*inaccessible* module (no surviving bus) is held and resubmitted every
+cycle until its module becomes reachable again; contention losses are
+still dropped, so healthy segments keep the paper's semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.arbitration import assignment_for
+from repro.arbitration.memory_arbiter import resolve_memory_contention
+from repro.core.request_models import RequestModel
+from repro.exceptions import ConfigurationError, FaultError, SimulationError
+from repro.faults.injection import fail_buses
+from repro.obs.metrics import get_registry, telemetry_enabled
+from repro.obs.spans import span
+from repro.simulation.engine import derive_streams
+from repro.simulation.metrics import (
+    MetricsCollector,
+    SimulationResult,
+    result_from_arrays,
+)
+from repro.simulation.vectorized import (
+    _assigner_for,
+    _resolve_stage_one,
+    assign_degraded,
+    check_batch_invariants,
+    degraded_assignment_unsupported_reason,
+    vectorization_unsupported_reason,
+)
+from repro.topology.network import MultipleBusNetwork
+from repro.workloads.generator import ModelRequestGenerator, RequestGenerator
+
+__all__ = [
+    "FaultEvent",
+    "FaultSegment",
+    "FaultSchedule",
+    "ExponentialFaultProcess",
+    "FaultySimulationResult",
+    "simulate_with_faults",
+]
+
+_KINDS = ("fail", "repair")
+_BLOCKED_MODES = ("drop", "resubmit")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One bus state change: bus ``bus`` fails or repairs at ``cycle``."""
+
+    cycle: int
+    bus: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise FaultError(f"event cycle must be >= 0, got {self.cycle}")
+        if self.bus < 0:
+            raise FaultError(f"event bus must be >= 0, got {self.bus}")
+        if self.kind not in _KINDS:
+            raise FaultError(
+                f"event kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSegment:
+    """A half-open cycle range ``[start, stop)`` with a fixed failure set."""
+
+    start: int
+    stop: int
+    failed: frozenset[int]
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of cycles the segment spans."""
+        return self.stop - self.start
+
+
+class FaultSchedule:
+    """An explicit timeline of bus fail/repair events.
+
+    Events are applied in cycle order (stably, so a fail and a repair of
+    the same bus in the same cycle cancel in input order); failing an
+    already-failed bus or repairing a healthy one is a no-op, which lets
+    schedules drawn from independent per-bus processes compose freely.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events = tuple(
+            sorted(events, key=lambda e: (e.cycle, e.bus))
+        )
+
+    @classmethod
+    def static(
+        cls, failed_buses: Iterable[int], cycle: int = 0
+    ) -> "FaultSchedule":
+        """Fail ``failed_buses`` at ``cycle`` and never repair them.
+
+        With ``cycle=0`` this is exactly the static
+        :class:`~repro.faults.injection.DegradedNetwork` scenario as a
+        trajectory.
+        """
+        return cls(
+            FaultEvent(cycle, int(bus), "fail")
+            for bus in sorted({int(b) for b in failed_buses})
+        )
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """The events in application order."""
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({len(self._events)} events)"
+
+    def segments(self, n_cycles: int, n_buses: int) -> list[FaultSegment]:
+        """Partition ``[0, n_cycles)`` into constant-failure-set segments.
+
+        Events at or beyond ``n_cycles`` are ignored; events addressing
+        buses outside ``[0, n_buses)`` raise
+        :class:`~repro.exceptions.FaultError`.
+        """
+        if n_cycles < 1:
+            raise FaultError(f"need at least one cycle, got {n_cycles}")
+        for event in self._events:
+            if event.bus >= n_buses:
+                raise FaultError(
+                    f"event addresses bus {event.bus}: valid range "
+                    f"[0, {n_buses})"
+                )
+        segments: list[FaultSegment] = []
+        failed: set[int] = set()
+        start = 0
+        for event in self._events:
+            if event.cycle >= n_cycles:
+                break
+            if event.cycle > start:
+                segments.append(
+                    FaultSegment(start, event.cycle, frozenset(failed))
+                )
+                start = event.cycle
+            if event.kind == "fail":
+                failed.add(event.bus)
+            else:
+                failed.discard(event.bus)
+        segments.append(FaultSegment(start, n_cycles, frozenset(failed)))
+        return segments
+
+    def failed_at(self, cycle: int, n_buses: int) -> frozenset[int]:
+        """The failure set in force during ``cycle``."""
+        for segment in self.segments(cycle + 1, n_buses):
+            if segment.start <= cycle < segment.stop:
+                return segment.failed
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ExponentialFaultProcess:
+    """Per-bus exponential failure/repair renewal process.
+
+    Each bus alternates independently between up-times drawn from
+    ``Exponential(mtbf)`` and down-times drawn from ``Exponential(mttr)``
+    (both in cycles); event times are rounded up to whole cycles.  The
+    drawn :class:`FaultSchedule` is a pure function of ``(mtbf, mttr,
+    n_buses, n_cycles, seed)``, so stochastic-fault runs stay exactly
+    reproducible.
+    """
+
+    def __init__(self, mtbf: float, mttr: float):
+        if mtbf <= 0:
+            raise FaultError(f"mtbf must be positive, got {mtbf}")
+        if mttr <= 0:
+            raise FaultError(f"mttr must be positive, got {mttr}")
+        self._mtbf = float(mtbf)
+        self._mttr = float(mttr)
+
+    @property
+    def mtbf(self) -> float:
+        """Mean cycles between failures of one bus."""
+        return self._mtbf
+
+    @property
+    def mttr(self) -> float:
+        """Mean cycles to repair one bus."""
+        return self._mttr
+
+    def steady_state_availability(self) -> float:
+        """Long-run fraction of time one bus is up: MTBF/(MTBF+MTTR)."""
+        return self._mtbf / (self._mtbf + self._mttr)
+
+    def schedule(
+        self, n_buses: int, n_cycles: int, seed: int | None = 0
+    ) -> FaultSchedule:
+        """Draw one fail/repair timeline covering ``n_cycles`` cycles."""
+        if n_buses < 1:
+            raise FaultError(f"need at least one bus, got {n_buses}")
+        if n_cycles < 1:
+            raise FaultError(f"need at least one cycle, got {n_cycles}")
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        for bus in range(n_buses):
+            t = 0.0
+            alive = True
+            while True:
+                t += rng.exponential(self._mtbf if alive else self._mttr)
+                cycle = int(np.ceil(t))
+                if cycle >= n_cycles:
+                    break
+                events.append(
+                    FaultEvent(cycle, bus, "fail" if alive else "repair")
+                )
+                alive = not alive
+        return FaultSchedule(events)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultySimulationResult:
+    """A :class:`~repro.simulation.metrics.SimulationResult` plus fault views.
+
+    Attributes
+    ----------
+    result:
+        The standard bandwidth statistics over the measured cycles.
+    backend:
+        The resolved execution backend (``"loop"`` or ``"vectorized"``).
+    n_segments:
+        Constant-failure-set segments the run was split into.
+    n_fail_events / n_repair_events:
+        Events applied within the simulated horizon.
+    degraded_cycle_fraction:
+        Fraction of measured cycles with at least one failed bus.
+    blackout_cycles:
+        Measured cycles in which every bus was down (zero grants).
+    min_alive_buses:
+        Minimum number of surviving buses over the measured window.
+    resubmitted_requests:
+        Held requests re-presented to arbitration (``blocked="resubmit"``
+        only; 0 under the paper's drop semantics).
+    """
+
+    result: SimulationResult
+    backend: str
+    n_segments: int
+    n_fail_events: int
+    n_repair_events: int
+    degraded_cycle_fraction: float
+    blackout_cycles: int
+    min_alive_buses: int
+    resubmitted_requests: int = 0
+
+    @property
+    def bandwidth(self) -> float:
+        """Effective memory bandwidth (delegates to :attr:`result`)."""
+        return self.result.bandwidth
+
+
+def _cycle_requests(
+    issues: np.ndarray, chosen: np.ndarray, cycle: int
+) -> list[tuple[int, int]]:
+    """The loop-format request list of one materialized cycle."""
+    active = np.flatnonzero(issues[cycle])
+    return [(int(p), int(chosen[cycle, p])) for p in active]
+
+
+def _resolve_backend(
+    network: MultipleBusNetwork,
+    generator: RequestGenerator,
+    segments: list[FaultSegment],
+    backend: str,
+    blocked: str,
+) -> tuple[str, str | None]:
+    """Resolve ``backend`` to ``("loop"|"vectorized", fallback reason)``."""
+    reason = (
+        "blocked='resubmit' holds state across cycles (loop only)"
+        if blocked == "resubmit"
+        else vectorization_unsupported_reason(network, generator)
+    )
+    if reason is None and any(
+        0 < len(s.failed) < network.n_buses for s in segments
+    ):
+        reason = degraded_assignment_unsupported_reason(network)
+    if backend == "vectorized" and reason is not None:
+        raise SimulationError(f"backend='vectorized' unavailable: {reason}")
+    if backend == "auto":
+        backend = "loop" if reason is not None else "vectorized"
+    return backend, reason
+
+
+def simulate_with_faults(
+    network: MultipleBusNetwork,
+    workload: RequestModel | RequestGenerator,
+    schedule: FaultSchedule | None = None,
+    n_cycles: int = 20_000,
+    warmup: int = 0,
+    seed: int | np.random.SeedSequence | None = 0,
+    backend: str = "auto",
+    blocked: str = "drop",
+) -> FaultySimulationResult:
+    """Simulate ``network`` while ``schedule`` fails and repairs buses.
+
+    Parameters mirror :func:`repro.simulation.engine.simulate_bandwidth`;
+    ``schedule`` defaults to no faults (in which case the run matches the
+    standard engine's statistics).  ``blocked`` selects what happens to
+    requests that cannot be served: ``"drop"`` (the paper's assumption 5,
+    default) or ``"resubmit"`` (requests to momentarily inaccessible
+    modules are held and re-presented until reachable; loop backend
+    only).  See the module docstring for the execution model and the
+    cross-backend/static-equivalence guarantees.
+    """
+    if schedule is None:
+        schedule = FaultSchedule()
+    if n_cycles < 1:
+        raise SimulationError(f"need at least one cycle, got {n_cycles}")
+    if warmup < 0:
+        raise SimulationError(f"warmup must be >= 0, got {warmup}")
+    if backend not in ("auto", "loop", "vectorized"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected 'auto', 'loop' or "
+            "'vectorized'"
+        )
+    if blocked not in _BLOCKED_MODES:
+        raise ConfigurationError(
+            f"blocked must be one of {_BLOCKED_MODES}, got {blocked!r}"
+        )
+    if network.scheme == "crossbar" and len(schedule):
+        raise FaultError("crossbars fail by crosspoint, not by bus")
+    generator = (
+        ModelRequestGenerator(workload)
+        if isinstance(workload, RequestModel)
+        else workload
+    )
+    if generator.n_processors != network.n_processors:
+        raise SimulationError(
+            f"workload has {generator.n_processors} processors but the "
+            f"network has {network.n_processors}"
+        )
+    if generator.n_memories != network.n_memories:
+        raise SimulationError(
+            f"workload addresses {generator.n_memories} modules but the "
+            f"network has {network.n_memories}"
+        )
+
+    total = warmup + n_cycles
+    segments = schedule.segments(total, network.n_buses)
+    backend, fallback = _resolve_backend(
+        network, generator, segments, backend, blocked
+    )
+
+    n_fail = sum(
+        1 for e in schedule if e.cycle < total and e.kind == "fail"
+    )
+    n_repair = len([e for e in schedule if e.cycle < total]) - n_fail
+    if telemetry_enabled():
+        registry = get_registry()
+        registry.increment("fault.runs", backend=backend)
+        registry.increment("fault.events", n_fail, kind="fail")
+        registry.increment("fault.events", n_repair, kind="repair")
+        for event in schedule:
+            if event.cycle < total:
+                registry.record_event(
+                    f"fault.{event.kind}", cycle=event.cycle, bus=event.bus
+                )
+        if fallback is not None and backend == "loop":
+            registry.record_event(
+                "sim.backend_fallback",
+                scheme=network.scheme,
+                reason=fallback,
+            )
+
+    generation_rng, arbitration_rng = derive_streams(seed)
+    with span("sim.faulty_run", backend=backend, scheme=network.scheme):
+        if backend == "vectorized":
+            result, resubmitted = (
+                _run_vectorized_segments(
+                    network,
+                    generator,
+                    segments,
+                    warmup,
+                    generation_rng,
+                    arbitration_rng,
+                ),
+                0,
+            )
+        else:
+            result, resubmitted = _run_loop_segments(
+                network,
+                generator,
+                segments,
+                warmup,
+                generation_rng,
+                arbitration_rng,
+                blocked,
+            )
+
+    degraded = blackout = 0
+    min_alive = network.n_buses
+    for segment in segments:
+        measured = max(0, segment.stop - max(segment.start, warmup))
+        if not measured:
+            continue
+        alive = network.n_buses - len(segment.failed)
+        min_alive = min(min_alive, alive)
+        if segment.failed:
+            degraded += measured
+        if alive == 0:
+            blackout += measured
+    if telemetry_enabled():
+        registry = get_registry()
+        registry.increment("fault.degraded_cycles", degraded)
+        registry.increment("fault.blackout_cycles", blackout)
+        if resubmitted:
+            registry.increment("fault.resubmissions", resubmitted)
+
+    return FaultySimulationResult(
+        result=result,
+        backend=backend,
+        n_segments=len(segments),
+        n_fail_events=n_fail,
+        n_repair_events=n_repair,
+        degraded_cycle_fraction=degraded / n_cycles,
+        blackout_cycles=blackout,
+        min_alive_buses=min_alive,
+        resubmitted_requests=resubmitted,
+    )
+
+
+def _run_loop_segments(
+    network: MultipleBusNetwork,
+    generator: RequestGenerator,
+    segments: list[FaultSegment],
+    warmup: int,
+    generation_rng: np.random.Generator,
+    arbitration_rng: np.random.Generator,
+    blocked: str,
+) -> tuple[SimulationResult, int]:
+    """Per-cycle reference execution across segments."""
+    total = segments[-1].stop
+    n_memories = network.n_memories
+    if isinstance(generator, ModelRequestGenerator):
+        issues, chosen = generator.request_arrays(total, generation_rng)
+        requests_of = lambda c: _cycle_requests(issues, chosen, c)  # noqa: E731
+    else:
+        materialized = list(generator.cycles(total, generation_rng))
+        requests_of = materialized.__getitem__
+
+    collector = MetricsCollector(
+        network.n_processors, n_memories, network.n_buses
+    )
+    held: dict[int, int] = {}
+    resubmitted = 0
+    for segment in segments:
+        if len(segment.failed) >= network.n_buses:
+            policy = None
+            accessible = np.zeros(n_memories, dtype=bool)
+        elif segment.failed:
+            degraded = fail_buses(network, segment.failed)
+            policy = assignment_for(degraded)
+            accessible = degraded.memory_bus_matrix().any(axis=1)
+        else:
+            policy = assignment_for(network)
+            accessible = network.memory_bus_matrix().any(axis=1)
+        if policy is not None:
+            policy.reset()
+        for cycle in range(segment.start, segment.stop):
+            requests = requests_of(cycle)
+            if blocked == "resubmit":
+                resubmitted += len(held)
+                requests = [
+                    (p, m) for p, m in requests if p not in held
+                ] + sorted(held.items())
+                serviceable = [
+                    (p, m) for p, m in requests if accessible[m]
+                ]
+                held = {
+                    p: m for p, m in requests if not accessible[m]
+                }
+            else:
+                serviceable = requests
+            winners = resolve_memory_contention(
+                serviceable, n_memories, arbitration_rng
+            )
+            grants = (
+                policy.assign(sorted(winners), arbitration_rng)
+                if policy is not None
+                else {}
+            )
+            if cycle >= warmup:
+                collector.record(requests, winners, grants)
+    return collector.result(), resubmitted
+
+
+def _run_vectorized_segments(
+    network: MultipleBusNetwork,
+    generator: ModelRequestGenerator,
+    segments: list[FaultSegment],
+    warmup: int,
+    generation_rng: np.random.Generator,
+    arbitration_rng: np.random.Generator,
+) -> SimulationResult:
+    """Batch execution: each segment resolved as dense array operations.
+
+    All requests are materialized up front (bit-identical to the loop
+    path's stream consumption), so peak memory is ``O(total * N)`` —
+    fine at paper scale; split very long faulty runs into several calls
+    if that ever binds.
+    """
+    total = segments[-1].stop
+    n_memories = network.n_memories
+    issues, chosen = generator.request_arrays(total, generation_rng)
+
+    grant_count_chunks: list[np.ndarray] = []
+    requests_issued = 0
+    bus_busy = np.zeros(network.n_buses, dtype=np.int64)
+    module_served = np.zeros(n_memories, dtype=np.int64)
+    processor_served = np.zeros(network.n_processors, dtype=np.int64)
+
+    for segment in segments:
+        seg_issues = issues[segment.start : segment.stop]
+        seg_chosen = chosen[segment.start : segment.stop]
+        first_measured = max(0, warmup - segment.start)
+        blackout = len(segment.failed) >= network.n_buses
+        if blackout:
+            if first_measured >= segment.n_cycles:
+                continue
+            measured = seg_issues[first_measured:]
+            grant_count_chunks.append(
+                np.zeros(measured.shape[0], dtype=np.int64)
+            )
+            requests_issued += int(measured.sum())
+            continue
+        requested, _, winner = _resolve_stage_one(
+            seg_issues, seg_chosen, n_memories, arbitration_rng
+        )
+        if segment.failed:
+            grant_module = assign_degraded(
+                network, segment.failed, requested, arbitration_rng
+            )
+            check_batch_invariants(
+                fail_buses(network, segment.failed),
+                requested,
+                winner,
+                grant_module,
+            )
+        else:
+            grant_module = _assigner_for(network)(
+                network, requested, arbitration_rng
+            )
+            check_batch_invariants(network, requested, winner, grant_module)
+        if first_measured >= segment.n_cycles:
+            continue
+        sl = slice(first_measured, None)
+        grants = grant_module[sl]
+        granted = grants >= 0
+        grant_count_chunks.append(granted.sum(axis=1))
+        requests_issued += int(seg_issues[sl].sum())
+        bus_busy += granted.sum(axis=0)
+        served_modules = grants[granted]
+        module_served += np.bincount(served_modules, minlength=n_memories)
+        served_cycles = np.nonzero(granted)[0]
+        processor_served += np.bincount(
+            winner[sl][served_cycles, served_modules],
+            minlength=network.n_processors,
+        )
+
+    return result_from_arrays(
+        np.concatenate(grant_count_chunks),
+        requests_issued,
+        bus_busy,
+        module_served,
+        processor_served,
+    )

@@ -3,8 +3,11 @@
 A manifest digests the registry into the questions an operator asks
 after a run: did the cache work (hit rate), which simulation backend ran
 (and how often the auto selector fell back), which sweep cells were
-skipped and why, which RNG streams fed the Monte-Carlo, and where the
-time went per phase (top-level spans).
+skipped and why, which RNG streams fed the Monte-Carlo, how resilient
+execution fared (retries by reason, pool respawns, stall timeouts,
+quarantined cache files), what faults were injected (fail/repair
+events, degraded/blackout cycle exposure), and where the time went per
+phase (top-level spans).
 
 Determinism contract: no field carries a wall-clock timestamp or
 hostname.  Everything outside the ``"timings"`` section is a pure
@@ -85,6 +88,58 @@ def _rng_section(registry: MetricsRegistry) -> dict[str, object]:
     return {"streams": streams, "root_entropies": sorted(entropies)}
 
 
+def _labelled_totals(
+    registry: MetricsRegistry, counter: str, label: str
+) -> dict[str, int]:
+    """Per-label-value totals of one labelled counter, sorted."""
+    totals: dict[str, int] = {}
+    for (name, labels), value in registry.counters().items():
+        if name != counter:
+            continue
+        key = dict(labels).get(label, "unknown")
+        totals[str(key)] = totals.get(str(key), 0) + int(value)
+    return dict(sorted(totals.items()))
+
+
+def _resilience_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Retry / crash-recovery / cache-quarantine digest of a run."""
+    retries = _labelled_totals(registry, "parallel.retries", "reason")
+    standalone = _labelled_totals(registry, "resilience.retries", "reason")
+    return {
+        "retries": retries,
+        "total_retries": int(
+            registry.counter_total("parallel.retries")
+            + registry.counter_total("resilience.retries")
+        ),
+        "standalone_retries": standalone,
+        "pool_respawns": int(registry.counter_total("parallel.pool_respawns")),
+        "stall_timeouts": int(registry.counter_total("parallel.timeouts")),
+        "quarantined_cache_files": int(
+            registry.counter_total("parallel.disk_cache.quarantined")
+        ),
+    }
+
+
+def _faults_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Fault-injection digest: events applied and degraded exposure."""
+    events = _labelled_totals(registry, "fault.events", "kind")
+    return {
+        "runs": _labelled_totals(registry, "fault.runs", "backend"),
+        "fail_events": events.get("fail", 0),
+        "repair_events": events.get("repair", 0),
+        "degraded_cycles": int(
+            registry.counter_total("fault.degraded_cycles")
+        ),
+        "blackout_cycles": int(
+            registry.counter_total("fault.blackout_cycles")
+        ),
+        "resubmissions": int(registry.counter_total("fault.resubmissions")),
+        "availability_sets": _labelled_totals(
+            registry, "availability.failure_sets", "method"
+        ),
+    }
+
+
 def _counters_section(registry: MetricsRegistry) -> dict[str, object]:
     flat: dict[str, object] = {}
     for (name, labels), value in registry.counters().items():
@@ -126,6 +181,8 @@ def build_manifest(
         "backends": _backend_section(registry),
         "rng": _rng_section(registry),
         "skipped_cells": skipped_cell_counts(registry),
+        "resilience": _resilience_section(registry),
+        "faults": _faults_section(registry),
         "counters": _counters_section(registry),
         "timings": _timings_section(registry),
     }

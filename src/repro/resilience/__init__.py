@@ -1,0 +1,5 @@
+"""Execution resilience: retry policies for crash-tolerant sweeps."""
+
+from repro.resilience.retry import RetryPolicy, retry_call
+
+__all__ = ["RetryPolicy", "retry_call"]

@@ -1,0 +1,144 @@
+"""Retry policies with deterministic jitter for the sweep executor.
+
+Million-cell availability grids run for hours across worker processes;
+a single transient failure (an OOM-killed worker, a wedged cell, a
+corrupt cache file) must cost one retry, not the whole sweep.  This
+module defines the policy object shared by
+:func:`repro.analysis.parallel.parallel_map` and the standalone
+:func:`retry_call` helper.
+
+Determinism contract: backoff jitter is *hashed*, not drawn.  The delay
+before attempt ``k`` of a cell is a pure function of ``(policy, token,
+k)`` — reruns of a flaky sweep wait the same amount of time, logs line
+up across machines, and no retry ever touches the NumPy RNG streams
+that make sweep records bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from collections.abc import Callable
+
+from repro.exceptions import ConfigurationError, RetryExhaustedError
+from repro.obs.metrics import get_registry
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, to retry a failing unit of work.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first one; ``1`` disables retries.
+    backoff_seconds:
+        Delay before the first retry; subsequent retries multiply it by
+        ``backoff_factor``.
+    backoff_factor:
+        Exponential growth factor of the backoff (``>= 1``).
+    jitter_fraction:
+        Relative spread of the deterministic jitter: the delay for
+        attempt ``k`` is scaled by a factor in
+        ``[1 - jitter_fraction, 1 + jitter_fraction]`` hashed from the
+        retry token — fixed across reruns, decorrelated across cells.
+    timeout_seconds:
+        Stall watchdog for pooled execution: when no cell completes for
+        this long, the outstanding cells are retried in a fresh pool.
+        ``None`` waits forever.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_fraction: float = 0.1
+    timeout_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0:
+            raise ConfigurationError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_factor < 1:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0 <= self.jitter_fraction <= 1:
+            raise ConfigurationError(
+                "jitter_fraction must be in [0, 1], got "
+                f"{self.jitter_fraction}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when attempt number ``attempt`` (1-based) may be retried."""
+        return attempt < self.max_attempts
+
+    def delay(self, attempt: int, token: str = "") -> float:
+        """Backoff before the retry following failed attempt ``attempt``.
+
+        Deterministic: equal ``(attempt, token)`` pairs always produce
+        the same delay (see the module docstring).
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        base = self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+        digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
+
+
+def retry_call(
+    func: Callable,
+    *args,
+    policy: RetryPolicy | None = None,
+    token: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+):
+    """Call ``func(*args, **kwargs)`` under a retry policy.
+
+    Retries any :class:`Exception` up to ``policy.max_attempts`` total
+    tries, sleeping ``policy.delay(attempt, token)`` between tries, then
+    raises :class:`~repro.exceptions.RetryExhaustedError` chained to the
+    final failure.  Every retry is counted on the telemetry registry
+    (``resilience.retries{reason=<exception type>}``) and logged as a
+    ``resilience.retry`` event.
+
+    ``sleep`` is injectable so tests can assert the backoff sequence
+    without waiting it out.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    registry = get_registry()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return func(*args, **kwargs)
+        except Exception as exc:
+            if not policy.should_retry(attempt):
+                raise RetryExhaustedError(
+                    f"{token or getattr(func, '__name__', 'call')} failed "
+                    f"after {attempt} attempt(s): {exc!r}",
+                    attempts=attempt,
+                    last_error=exc,
+                ) from exc
+            registry.increment(
+                "resilience.retries", reason=type(exc).__name__
+            )
+            registry.record_event(
+                "resilience.retry",
+                token=token,
+                attempt=attempt,
+                error=repr(exc),
+            )
+            sleep(policy.delay(attempt, token))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -18,6 +18,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.topology.crossbar import CrossbarNetwork
 from repro.topology.full import FullBusMemoryNetwork
 from repro.topology.kclass import KClassPartialBusNetwork
@@ -153,5 +154,7 @@ def performance_cost_ratio(bandwidth: float, report: CostReport) -> float:
     connection minimizes it, and partial schemes land in between.
     """
     if report.connections <= 0:
-        raise ValueError("cost report has non-positive connection count")
+        raise ConfigurationError(
+            "cost report has non-positive connection count"
+        )
     return bandwidth / report.connections

@@ -60,9 +60,20 @@ def test_unknown_experiment_raises():
         run_experiment("table99")
 
 
+def test_availability_experiment_anchored_at_zero_failures():
+    result = run_experiment("availability", n_cycles=300)
+    assert result.summary().endswith("no paper cells")
+    zero_p = [r for r in result.records if r["p"] == 0.0]
+    assert {r["scheme"] for r in zero_p} == {
+        "full", "partial", "single", "kclass"
+    }
+    # EBW(0) retains exactly the healthy bandwidth for every scheme.
+    assert all(r["retained"] == pytest.approx(1.0, abs=1e-4) for r in zero_p)
+
+
 def test_registry_complete():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "table3", "table4", "table5", "table6",
         "figures", "claims", "validation", "ablation", "nxm",
-        "resubmission", "approximation",
+        "resubmission", "approximation", "availability",
     }

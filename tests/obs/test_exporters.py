@@ -159,3 +159,50 @@ class TestManifest:
             texts.append(path.read_text())
         assert texts[0] == texts[1]
         json.loads(texts[0])  # valid JSON
+
+    def test_resilience_section_digests_retry_counters(self):
+        registry = MetricsRegistry()
+        registry.increment("parallel.retries", 2, reason="worker-crash")
+        registry.increment("parallel.retries", 1, reason="stall-timeout")
+        registry.increment("resilience.retries", 1, reason="OSError")
+        registry.increment("parallel.pool_respawns")
+        registry.increment("parallel.timeouts")
+        registry.increment(
+            "parallel.disk_cache.quarantined", reason="unparseable"
+        )
+        manifest = build_manifest(registry)
+        assert manifest["resilience"] == {
+            "retries": {"stall-timeout": 1, "worker-crash": 2},
+            "total_retries": 4,
+            "standalone_retries": {"OSError": 1},
+            "pool_respawns": 1,
+            "stall_timeouts": 1,
+            "quarantined_cache_files": 1,
+        }
+
+    def test_faults_section_digests_fault_counters(self):
+        registry = MetricsRegistry()
+        registry.increment("fault.runs", backend="loop")
+        registry.increment("fault.events", 3, kind="fail")
+        registry.increment("fault.events", 2, kind="repair")
+        registry.increment("fault.degraded_cycles", 150)
+        registry.increment("fault.blackout_cycles", 10)
+        registry.increment("fault.resubmissions", 42)
+        registry.increment("availability.failure_sets", 16, method="exact")
+        manifest = build_manifest(registry)
+        assert manifest["faults"] == {
+            "runs": {"loop": 1},
+            "fail_events": 3,
+            "repair_events": 2,
+            "degraded_cycles": 150,
+            "blackout_cycles": 10,
+            "resubmissions": 42,
+            "availability_sets": {"exact": 16},
+        }
+
+    def test_quiet_run_has_empty_resilience_and_faults(self):
+        manifest = build_manifest(MetricsRegistry())
+        assert manifest["resilience"]["total_retries"] == 0
+        assert manifest["resilience"]["retries"] == {}
+        assert manifest["faults"]["fail_events"] == 0
+        assert manifest["faults"]["runs"] == {}

@@ -1,0 +1,133 @@
+"""Retry policy: validation, deterministic jitter, and retry_call."""
+
+import pytest
+
+from repro import telemetry
+from repro.exceptions import ConfigurationError, RetryExhaustedError
+from repro.resilience.retry import RetryPolicy, retry_call
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_seconds": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter_fraction": -0.1},
+            {"jitter_fraction": 1.5},
+            {"timeout_seconds": 0.0},
+            {"timeout_seconds": -3.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+    def test_single_attempt_disables_retries(self):
+        assert not RetryPolicy(max_attempts=1).should_retry(1)
+
+
+class TestDeterministicJitter:
+    def test_delay_is_a_pure_function(self):
+        policy = RetryPolicy(backoff_seconds=0.1, jitter_fraction=0.25)
+        assert policy.delay(1, "cell-7") == policy.delay(1, "cell-7")
+        assert policy.delay(1, "cell-7") != policy.delay(1, "cell-8")
+        assert policy.delay(1, "cell-7") != policy.delay(2, "cell-7")
+
+    def test_delay_within_jitter_bounds_and_growing(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.1, backoff_factor=2.0, jitter_fraction=0.2
+        )
+        for token in ("a", "b", "cell-42"):
+            for attempt in (1, 2, 3, 4):
+                base = 0.1 * 2.0 ** (attempt - 1)
+                delay = policy.delay(attempt, token)
+                assert base * 0.8 <= delay <= base * 1.2
+        # Exponential growth dominates the jitter spread.
+        assert policy.delay(3, "x") > policy.delay(1, "x")
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.5, backoff_factor=3.0, jitter_fraction=0.0
+        )
+        assert policy.delay(1) == pytest.approx(0.5)
+        assert policy.delay(2) == pytest.approx(1.5)
+        assert policy.delay(3) == pytest.approx(4.5)
+
+    def test_invalid_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay(0)
+
+
+class TestRetryCall:
+    def test_success_needs_no_retry(self):
+        sleeps = []
+        result = retry_call(
+            lambda: 42, policy=RetryPolicy(), sleep=sleeps.append
+        )
+        assert result == 42
+        assert sleeps == []
+
+    def test_transient_failure_retried_then_succeeds(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=0.01)
+        assert retry_call(flaky, policy=policy, sleep=sleeps.append) == "ok"
+        assert len(attempts) == 3
+        assert sleeps == [policy.delay(1, ""), policy.delay(2, "")]
+
+    def test_exhaustion_raises_chained_error(self):
+        def always_fails():
+            raise RuntimeError("broken")
+
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            retry_call(
+                always_fails,
+                policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+                token="cell-3",
+                sleep=lambda _: None,
+            )
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.last_error, RuntimeError)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        assert "cell-3" in str(excinfo.value)
+
+    def test_retries_counted_on_registry(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise ValueError("flap")
+            return 1
+
+        with telemetry() as registry:
+            retry_call(
+                flaky,
+                policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+                sleep=lambda _: None,
+            )
+            assert registry.counter_total("resilience.retries") == 1
+            events = [
+                e for e in registry.events()
+                if e["kind"] == "resilience.retry"
+            ]
+            assert len(events) == 1
+
+    def test_arguments_forwarded(self):
+        assert retry_call(divmod, 7, 3, sleep=lambda _: None) == (2, 1)

@@ -1,0 +1,100 @@
+"""Invalid configurations raise typed exceptions, never bare asserts.
+
+Every rejection goes through the public entry points — the factory for
+topologies, the model constructors for request models — and must raise
+:class:`~repro.exceptions.ConfigurationError` /
+:class:`~repro.exceptions.ModelError`.  Both are ``ValueError``
+subclasses, so callers written against the stdlib idiom keep working,
+but ``except ReproError`` now catches everything the library rejects.
+"""
+
+import pytest
+
+from repro.core.hierarchy import HierarchicalRequestModel
+from repro.core.request_models import UniformRequestModel
+from repro.exceptions import ConfigurationError, ModelError, ReproError
+from repro.topology.factory import build_network
+
+INVALID_TOPOLOGIES = [
+    # (label, scheme, N, M, B, kwargs)
+    ("unknown-scheme", "mesh", 8, 8, 4, {}),
+    ("zero-processors", "full", 0, 8, 4, {}),
+    ("zero-memories", "full", 8, 0, 4, {}),
+    ("zero-buses", "full", 8, 8, 0, {}),
+    ("more-buses-than-memories", "full", 8, 4, 8, {}),
+    ("groups-not-dividing-buses", "partial", 8, 9, 4, {"n_groups": 3}),
+    ("groups-not-dividing-memories", "partial", 8, 9, 4, {"n_groups": 2}),
+    ("zero-groups", "partial", 8, 8, 4, {"n_groups": 0}),
+    ("more-classes-than-buses", "kclass", 8, 8, 4,
+     {"class_sizes": [2, 2, 2, 1, 1]}),
+    ("class-sizes-not-summing-to-M", "kclass", 8, 8, 4,
+     {"class_sizes": [2, 2, 2]}),
+    ("negative-class-size", "kclass", 8, 8, 4,
+     {"class_sizes": [-1, 3, 3, 3]}),
+    ("single-bus-map-wrong-length", "single", 8, 8, 4,
+     {"bus_of_module": [0, 1]}),
+    ("single-bus-map-out-of-range", "single", 8, 8, 4,
+     {"bus_of_module": [0, 1, 2, 9, 0, 1, 2, 3]}),
+    ("crossbar-extra-kwargs", "crossbar", 8, 8, 8, {"n_groups": 2}),
+]
+
+
+@pytest.mark.parametrize(
+    "scheme,n,m,b,kwargs",
+    [case[1:] for case in INVALID_TOPOLOGIES],
+    ids=[case[0] for case in INVALID_TOPOLOGIES],
+)
+def test_invalid_topology_raises_configuration_error(scheme, n, m, b, kwargs):
+    with pytest.raises(ConfigurationError) as excinfo:
+        build_network(scheme, n, m, b, **kwargs)
+    # Typed *and* stdlib-idiomatic *and* catchable at the library root.
+    assert isinstance(excinfo.value, ValueError)
+    assert isinstance(excinfo.value, ReproError)
+
+
+INVALID_MODELS = [
+    ("negative-rate", lambda: UniformRequestModel(8, 8, rate=-0.1)),
+    ("rate-above-one", lambda: UniformRequestModel(8, 8, rate=1.5)),
+    ("zero-processors", lambda: UniformRequestModel(0, 8)),
+    (
+        "fractions-not-summing-to-one",
+        # 0.6 + 0.3 + 0.2 = 1.1 aggregate traffic: eq. (1) violated.
+        lambda: HierarchicalRequestModel.from_aggregate_fractions(
+            (4, 4), (0.6, 0.3, 0.2)
+        ),
+    ),
+    (
+        "per-module-fractions-not-normalizing",
+        lambda: HierarchicalRequestModel.nxn((4, 4), (0.5, 0.5, 0.5)),
+    ),
+    (
+        "negative-fraction",
+        lambda: HierarchicalRequestModel.nxn((4, 4), (1.2, -0.1, 0.0)),
+    ),
+    (
+        "zero-branching-factor",
+        lambda: HierarchicalRequestModel.nxn((4, 0), (0.6, 0.3, 0.1)),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "build",
+    [case[1] for case in INVALID_MODELS],
+    ids=[case[0] for case in INVALID_MODELS],
+)
+def test_invalid_model_raises_model_error(build):
+    with pytest.raises(ModelError) as excinfo:
+        build()
+    assert isinstance(excinfo.value, ValueError)
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_no_bare_value_error_from_validation():
+    """The factory's rejections are all ReproError subclasses."""
+    for _, scheme, n, m, b, kwargs in INVALID_TOPOLOGIES:
+        try:
+            build_network(scheme, n, m, b, **kwargs)
+        except ReproError:
+            continue
+        pytest.fail(f"{scheme} accepted invalid configuration {kwargs}")
