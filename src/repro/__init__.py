@@ -34,6 +34,10 @@ Package map:
 * :mod:`repro.experiments` — reproduction of every paper table and figure.
 * :mod:`repro.obs` — opt-in telemetry: metrics registry, spans, run
   manifests.  Off by default with zero overhead.
+* :mod:`repro.service` — the asyncio bandwidth-query service: result
+  LRU, in-flight request coalescing, per-tick micro-batching into the
+  whole-grid kernels, token-bucket admission control and an HTTP
+  front-end (``repro-serve``).
 """
 
 from repro.analysis import (
@@ -70,12 +74,15 @@ from repro.core import (
     solve_resubmission_equilibrium,
 )
 from repro.exceptions import (
+    AdmissionError,
     ConfigurationError,
     ExperimentError,
     FaultError,
     ModelError,
+    QueryTooLargeError,
     ReproError,
     RetryExhaustedError,
+    ServiceError,
     SimulationError,
 )
 from repro.faults import (
@@ -107,6 +114,14 @@ from repro.obs import (
     write_manifest,
 )
 from repro.resilience import RetryPolicy, retry_call
+from repro.service import (
+    AdmissionController,
+    BandwidthService,
+    Query,
+    QueryEngine,
+    ServiceLimits,
+    TokenBucket,
+)
 from repro.simulation import (
     MultiprocessorSimulator,
     ResubmissionSimulator,
@@ -136,6 +151,9 @@ __all__ = [
     "FaultError",
     "ExperimentError",
     "RetryExhaustedError",
+    "ServiceError",
+    "QueryTooLargeError",
+    "AdmissionError",
     # request models
     "RequestModel",
     "MatrixRequestModel",
@@ -184,6 +202,13 @@ __all__ = [
     # resilience
     "RetryPolicy",
     "retry_call",
+    # service
+    "Query",
+    "ServiceLimits",
+    "QueryEngine",
+    "TokenBucket",
+    "AdmissionController",
+    "BandwidthService",
     # analysis
     "bandwidth_sweep",
     "bandwidth_sweep_with_skips",

@@ -2,12 +2,14 @@
 
 from repro.analysis.batch import (
     BusProfile,
+    GridCell,
     SkippedCell,
     bandwidth_full_batch,
     bandwidth_kclass_batch,
     bandwidth_partial_batch,
     bandwidth_single_batch,
     binomial_pmf_grid,
+    evaluate_cells,
     scheme_bus_profile,
     tail_excess_all_buses,
     valid_bus_counts,
@@ -66,4 +68,6 @@ __all__ = [
     "valid_bus_counts",
     "BusProfile",
     "SkippedCell",
+    "GridCell",
+    "evaluate_cells",
 ]

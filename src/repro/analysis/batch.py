@@ -55,6 +55,8 @@ __all__ = [
     "BusProfile",
     "valid_bus_counts",
     "scheme_bus_profile",
+    "GridCell",
+    "evaluate_cells",
 ]
 
 
@@ -609,3 +611,118 @@ def _scheme_bus_profile(
         )
         profile.values[b] = bandwidth_kclass(sizes, b, request)
     return profile
+
+
+# ----------------------------------------------------------------------
+# Re-entrant micro-batch entry point
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class GridCell:
+    """One single-cell bandwidth request for :func:`evaluate_cells`.
+
+    ``network_kwargs`` must be a hashable canonical form — a tuple of
+    sorted ``(name, value)`` pairs with sequence values converted to
+    tuples (what :meth:`from_kwargs` produces).
+    """
+
+    scheme: str
+    n_processors: int
+    n_memories: int
+    n_buses: int
+    model: RequestModel
+    network_kwargs: tuple[tuple[str, object], ...] = ()
+
+    @staticmethod
+    def from_kwargs(
+        scheme: str,
+        n_processors: int,
+        n_memories: int,
+        n_buses: int,
+        model: RequestModel,
+        **network_kwargs,
+    ) -> "GridCell":
+        """Build a cell, canonicalizing ``network_kwargs`` to sorted tuples."""
+        canonical = tuple(
+            (name, tuple(value) if isinstance(value, (list, tuple)) else value)
+            for name, value in sorted(network_kwargs.items())
+        )
+        return GridCell(
+            scheme, int(n_processors), int(n_memories), int(n_buses),
+            model, canonical,
+        )
+
+    def profile_signature(self) -> tuple:
+        """Grouping key: cells equal here share one grid evaluation.
+
+        The request model is identified by object identity — callers that
+        want two cells micro-batched together must hand both the *same*
+        model instance (the query service's canonical-key cache does
+        exactly that).  Identity is the only equality cheap enough for a
+        per-request hot path, and it can never conflate distinct models.
+        """
+        return (
+            self.scheme,
+            self.n_processors,
+            self.n_memories,
+            id(self.model),
+            self.network_kwargs,
+        )
+
+
+def evaluate_cells(
+    cells: Sequence[GridCell],
+) -> list[float | SkippedCell]:
+    """Evaluate many single cells through as few grid calls as possible.
+
+    The re-entrant micro-batch entry point of the analytic engine: cells
+    agreeing on everything but the bus count (same scheme, machine shape,
+    request-model *instance* and network kwargs) are grouped and answered
+    by **one** :func:`scheme_bus_profile` call over their combined
+    bus-count vector.  Results come back aligned with the input: a float
+    bandwidth for feasible cells, the auditing :class:`SkippedCell` for
+    structurally invalid ones.
+
+    Because every grid kernel is elementwise in the bus count (each
+    count's value is read from the same cached pmf with the same
+    arithmetic regardless of its companions), a cell's value is
+    bit-identical whether it is evaluated alone or sharing a grid call —
+    the property the query service's differential suite pins.
+
+    Thread-safety: pure function of its arguments; the only shared state
+    underneath is the pmf cache and the telemetry registry, both
+    thread-safe, so concurrent callers (one batch flusher per event loop,
+    a benchmark harness, a worker pool) can all enter at once.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault(cell.profile_signature(), []).append(index)
+    results: list[float | SkippedCell] = [None] * len(cells)  # type: ignore[list-item]
+    for indices in groups.values():
+        first = cells[indices[0]]
+        # Deduplicate bus counts inside the group while keeping one grid
+        # call; every member reads its own count back from the profile.
+        bus_counts = sorted({cells[i].n_buses for i in indices})
+        profile = scheme_bus_profile(
+            first.scheme,
+            first.n_processors,
+            first.n_memories,
+            bus_counts,
+            first.model,
+            **dict(first.network_kwargs),
+        )
+        skipped_by_bus = {cell.n_buses: cell for cell in profile.skipped}
+        for i in indices:
+            b = cells[i].n_buses
+            if b in profile.values:
+                results[i] = profile.values[b]
+            else:
+                results[i] = skipped_by_bus.get(
+                    b,
+                    SkippedCell(
+                        first.scheme, b,
+                        f"B={b} missing from the evaluated profile",
+                    ),
+                )
+    return results

@@ -33,9 +33,12 @@ those grids embarrassingly parallel without giving up reproducibility:
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import hashlib
+import itertools
 import json
 import os
+import threading
 import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures.process import BrokenProcessPool
@@ -115,11 +118,21 @@ class ResultCache:
     (for post-mortem inspection) and treated as a miss, so a corrupted
     disk never turns into a raised ``JSONDecodeError`` mid-sweep.
     Pre-envelope entries (bare values) are still readable.
+
+    Same-key writers are safe both across processes *and* across
+    threads: every :meth:`put` writes a private temp file (unique per
+    process, thread and call) and publishes it with one atomic
+    :func:`os.replace`, so readers only ever observe a complete
+    envelope — last writer wins — and :meth:`get` re-hashes the content
+    against the stored checksum on every read.
     """
 
     _MISSING = object()
     _FORMAT = 1
     _FORMAT_KEY = "__cache_format__"
+
+    #: Process-wide counter making concurrent same-pid temp names unique.
+    _tmp_counter = itertools.count()
 
     def __init__(self, directory: str | Path):
         self._dir = Path(directory)
@@ -191,17 +204,32 @@ class ResultCache:
         return self._path(key).exists()
 
     def put(self, key: str, value: object) -> None:
-        """Store ``value`` under ``key`` atomically, with its checksum."""
+        """Store ``value`` under ``key`` atomically, with its checksum.
+
+        The temp name is unique per (process, thread, call): a pid-only
+        suffix lets two threads of one process open the *same* temp
+        file, where the loser of the ``os.replace`` race keeps writing
+        into the winner's published inode and corrupts the entry.
+        """
         path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            ".tmp."
+            f"{os.getpid()}.{threading.get_ident()}."
+            f"{next(self._tmp_counter)}"
+        )
         envelope = {
             self._FORMAT_KEY: self._FORMAT,
             "sha256": self.value_digest(value),
             "value": value,
         }
-        with open(tmp, "w") as handle:
-            json.dump(envelope, handle)
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp, path)
+        finally:
+            with contextlib.suppress(FileNotFoundError):
+                if tmp.exists():
+                    tmp.unlink()
 
     def quarantined_files(self) -> list[str]:
         """Names of quarantined entries, sorted."""

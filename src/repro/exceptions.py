@@ -58,6 +58,41 @@ class ExperimentError(ReproError):
     """An experiment harness was asked for an unknown table or figure."""
 
 
+class ServiceError(ReproError):
+    """The bandwidth-query service could not serve a request.
+
+    Base class for failures of the serving layer itself (admission,
+    transport, request framing) as opposed to failures of the underlying
+    model or configuration, which keep their own types.
+    """
+
+
+class QueryTooLargeError(ServiceError, ValueError):
+    """A query asked for more work than the service is willing to batch.
+
+    Examples: a sweep whose bus-count vector exceeds the configured cell
+    limit, or an HTTP request body larger than the framing cap.  Maps to
+    HTTP 413 in the front-end.
+    """
+
+
+class AdmissionError(ServiceError):
+    """The service shed a request before doing any work.
+
+    Raised by the token-bucket/queue-depth admission controller.  Carries
+    a deterministic ``retry_after_seconds`` hint that clients can feed to
+    :meth:`repro.resilience.RetryPolicy.delay_honoring` (and that the
+    HTTP front-end surfaces as a ``Retry-After`` header on the 429
+    envelope), plus the shed ``reason`` (``"rate"`` or ``"queue_depth"``).
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.0,
+                 reason: str = "rate"):
+        super().__init__(message)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self.reason = reason
+
+
 class RetryExhaustedError(ReproError):
     """A retried operation kept failing through its whole retry budget.
 

@@ -140,6 +140,42 @@ def _faults_section(registry: MetricsRegistry) -> dict[str, object]:
     }
 
 
+def _service_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Query-service digest: traffic, tier split, batching, shedding."""
+    requests = _labelled_totals(registry, "service.requests", "kind")
+    hits = int(registry.counter_total("service.cache.hits"))
+    misses = int(registry.counter_total("service.cache.misses"))
+    lookups = hits + misses
+    batch_cells = int(registry.counter_total("service.batch.cells"))
+    batch_flushes = int(registry.counter_total("service.batch.flushes"))
+    return {
+        "requests": requests,
+        "total_requests": int(registry.counter_total("service.requests")),
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "evictions": int(
+                registry.counter_total("service.cache.evictions")
+            ),
+            "hit_rate": round(hits / lookups, 6) if lookups else 0.0,
+        },
+        "coalesced": int(registry.counter_total("service.coalesced")),
+        "computed": int(registry.counter_total("service.computed")),
+        "batch": {
+            "flushes": batch_flushes,
+            "cells": batch_cells,
+            "groups": int(registry.counter_total("service.batch.groups")),
+            "cells_per_flush": (
+                round(batch_cells / batch_flushes, 6) if batch_flushes else 0.0
+            ),
+        },
+        "shed": _labelled_totals(registry, "service.shed", "reason"),
+        "http_requests": _labelled_totals(
+            registry, "service.http.requests", "path"
+        ),
+    }
+
+
 def _counters_section(registry: MetricsRegistry) -> dict[str, object]:
     flat: dict[str, object] = {}
     for (name, labels), value in registry.counters().items():
@@ -183,6 +219,7 @@ def build_manifest(
         "skipped_cells": skipped_cell_counts(registry),
         "resilience": _resilience_section(registry),
         "faults": _faults_section(registry),
+        "service": _service_section(registry),
         "counters": _counters_section(registry),
         "timings": _timings_section(registry),
     }

@@ -97,6 +97,25 @@ class RetryPolicy:
         unit = int.from_bytes(digest[:8], "big") / 2**64
         return base * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
 
+    def delay_honoring(
+        self, attempt: int, token: str = "", retry_after: float = 0.0
+    ) -> float:
+        """Backoff that also honors a server-supplied retry-after hint.
+
+        The bandwidth-query service sheds load with a deterministic
+        ``retry_after_seconds`` hint (429 envelopes carry it as
+        ``error.retry_after_s`` and a ``Retry-After`` header).  A client
+        retrying under this policy should wait at least that long — this
+        returns ``max(delay(attempt, token), retry_after)``, keeping the
+        policy's determinism while never hammering a shedding server
+        before it asked to be called again.
+        """
+        if retry_after < 0:
+            raise ConfigurationError(
+                f"retry_after must be >= 0, got {retry_after}"
+            )
+        return max(self.delay(attempt, token), float(retry_after))
+
 
 def retry_call(
     func: Callable,

@@ -1,0 +1,344 @@
+"""The asyncio query engine: LRU -> coalescing map -> batched kernels.
+
+Chen & Sheu's closed forms make a bandwidth cell cheap to compute but
+highly repetitive across callers — millions of users sweep the same
+handful of machine shapes.  :class:`QueryEngine` exploits that shape
+with a three-tier pipeline, all keyed on the normalized
+:class:`~repro.service.protocol.Query` itself:
+
+1. **Result LRU** — finished answers, returned instantly
+   (``source="cache"``).
+2. **In-flight coalescing map** — a query identical to one currently
+   computing awaits the *same* future instead of recomputing
+   (``source="coalesced"``): a thundering herd of identical cold
+   requests costs one evaluation.  Failures propagate to every waiter
+   but are evicted immediately — an error can never poison the map or
+   the LRU.
+3. **The batched analytic engine** — sweeps call
+   :func:`~repro.analysis.batch.scheme_bus_profile` directly; single
+   cells enqueue into a :class:`~repro.service.batching.BatchWindow`
+   and distinct queries arriving in the same event-loop tick that share
+   a profile signature are answered by **one** grid call through
+   :func:`~repro.analysis.batch.evaluate_cells`.
+
+Values served from any tier are bit-identical to direct
+:func:`~repro.analysis.evaluate.analytic_bandwidth` /
+:func:`~repro.analysis.batch.scheme_bus_profile` calls — the grid
+kernels are elementwise in the bus count, and the differential suite
+pins all four paths.
+
+The engine is single-event-loop by design: state is only touched from
+the loop thread, and the analytic kernels are fast enough (micro- to
+milliseconds against a warm pmf cache) to run inline without starving
+the loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+import asyncio
+
+from repro.analysis.batch import (
+    GridCell,
+    SkippedCell,
+    evaluate_cells,
+    scheme_bus_profile,
+)
+from repro.core.request_models import RequestModel
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
+from repro.service.admission import AdmissionController
+from repro.service.batching import BatchWindow
+from repro.service.protocol import (
+    Query,
+    ServiceLimits,
+    build_model,
+    parse_query,
+)
+
+__all__ = ["QueryResponse", "QueryEngine"]
+
+
+@dataclasses.dataclass
+class QueryResponse:
+    """One answered query: the values, the audit trail, and the tier."""
+
+    query: Query
+    values: dict[int, float]
+    skipped: list[dict[str, object]]
+    source: str  #: ``"cache"`` | ``"coalesced"`` | ``"computed"``
+
+    @property
+    def value(self) -> float:
+        """The single-cell bandwidth (only for non-sweep queries)."""
+        return self.values[self.query.bus_counts[0]]
+
+    def payload(self) -> dict[str, object]:
+        """JSON-ready success envelope."""
+        query = self.query
+        if query.is_sweep:
+            result: dict[str, object] = {
+                "scheme": query.scheme,
+                "N": query.n_processors,
+                "M": query.n_memories,
+                "r": query.rate,
+                "model": query.model,
+                "values": {str(b): v for b, v in sorted(self.values.items())},
+                "skipped": self.skipped,
+            }
+        else:
+            result = {
+                "scheme": query.scheme,
+                "N": query.n_processors,
+                "M": query.n_memories,
+                "B": query.bus_counts[0],
+                "r": query.rate,
+                "model": query.model,
+                "bandwidth": self.value,
+            }
+        return {"ok": True, "source": self.source, "result": result}
+
+
+def _skip_record(cell: SkippedCell) -> dict[str, object]:
+    return {
+        "scheme": cell.scheme,
+        "B": cell.n_buses,
+        "reason": cell.reason,
+        "reason_code": cell.reason_code,
+    }
+
+
+class QueryEngine:
+    """Serve bandwidth queries through cache, coalescing and batching.
+
+    Parameters
+    ----------
+    cache_size:
+        Result-LRU capacity; ``0`` disables result caching (every
+        request either coalesces onto an in-flight computation or
+        computes — the configuration the coalescing benchmarks use).
+    batch_max_size / batch_max_delay:
+        :class:`~repro.service.batching.BatchWindow` bounds for
+        single-cell micro-batching.  The default delay of ``0.0``
+        batches per event-loop tick.
+    admission:
+        Optional :class:`~repro.service.admission.AdmissionController`;
+        checked before any other tier with the engine's current queue
+        depth.
+    limits:
+        :class:`~repro.service.protocol.ServiceLimits` applied when
+        parsing payloads through :meth:`execute_payload`.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 4096,
+        batch_max_size: int = 64,
+        batch_max_delay: float = 0.0,
+        admission: AdmissionController | None = None,
+        limits: ServiceLimits | None = None,
+        model_cache_size: int = 512,
+    ):
+        if cache_size < 0:
+            raise ConfigurationError(
+                f"cache_size must be >= 0, got {cache_size}"
+            )
+        if model_cache_size < 1:
+            raise ConfigurationError(
+                f"model_cache_size must be >= 1, got {model_cache_size}"
+            )
+        self._cache_size = int(cache_size)
+        self._admission = admission
+        self.limits = limits or ServiceLimits()
+        self._results: OrderedDict[Query, dict] = OrderedDict()
+        self._inflight: dict[Query, asyncio.Future] = {}
+        self._models: OrderedDict[tuple, RequestModel] = OrderedDict()
+        self._model_cache_size = int(model_cache_size)
+        self._batch = BatchWindow(
+            self._flush_cells,
+            max_size=batch_max_size,
+            max_delay=batch_max_delay,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """In-flight computations plus cells queued in the batch window."""
+        return len(self._inflight) + self._batch.pending
+
+    @property
+    def inflight_count(self) -> int:
+        """Queries currently computing (coalescing-map size)."""
+        return len(self._inflight)
+
+    @property
+    def cache_size(self) -> int:
+        """Finished results currently held by the LRU."""
+        return len(self._results)
+
+    # ------------------------------------------------------------------
+    # The three-tier request path
+    # ------------------------------------------------------------------
+
+    async def execute_payload(
+        self, payload: object, sweep: bool = False
+    ) -> QueryResponse:
+        """Parse a decoded JSON payload and execute it."""
+        query = parse_query(payload, sweep=sweep, limits=self.limits)
+        return await self.execute(query)
+
+    async def execute(self, query: Query) -> QueryResponse:
+        """Answer ``query`` from the cheapest tier that can serve it."""
+        registry = get_registry()
+        kind = "sweep" if query.is_sweep else "query"
+        if self._admission is not None:
+            self._admission.admit(queue_depth=self.queue_depth)
+        registry.increment("service.requests", kind=kind)
+
+        with registry.time_block("service.latency_seconds", kind=kind):
+            cached = self._lru_get(query)
+            if cached is not None:
+                registry.increment("service.cache.hits", kind=kind)
+                return self._response(query, cached, "cache")
+            registry.increment("service.cache.misses", kind=kind)
+
+            inflight = self._inflight.get(query)
+            if inflight is not None:
+                registry.increment("service.coalesced", kind=kind)
+                result = await asyncio.shield(inflight)
+                return self._response(query, result, "coalesced")
+
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[query] = future
+            try:
+                result = await self._compute(query)
+            except Exception as exc:
+                if not future.done():
+                    future.set_exception(exc)
+                    future.exception()
+                raise
+            else:
+                if not future.done():
+                    future.set_result(result)
+                self._lru_put(query, result)
+                registry.increment("service.computed", kind=kind)
+                return self._response(query, result, "computed")
+            finally:
+                self._inflight.pop(query, None)
+
+    def _response(
+        self, query: Query, result: dict, source: str
+    ) -> QueryResponse:
+        return QueryResponse(
+            query=query,
+            values=dict(result["values"]),
+            skipped=list(result["skipped"]),
+            source=source,
+        )
+
+    # ------------------------------------------------------------------
+    # Tier 3: computation through the batched analytic engine
+    # ------------------------------------------------------------------
+
+    def _model_for(self, query: Query) -> RequestModel:
+        """One shared model instance per model signature (LRU-capped).
+
+        Reusing the instance is what lets the micro-batcher group
+        same-model cells into one grid call — and it skips rebuilding
+        the N x M fraction matrix on every request.
+        """
+        signature = query.model_signature()
+        model = self._models.get(signature)
+        if model is None:
+            model = build_model(query)
+            self._models[signature] = model
+            while len(self._models) > self._model_cache_size:
+                self._models.popitem(last=False)
+        else:
+            self._models.move_to_end(signature)
+        return model
+
+    async def _compute(self, query: Query) -> dict:
+        model = self._model_for(query)
+        if not query.is_sweep:
+            value = await self._batch.submit((query, model))
+            return {"values": {query.bus_counts[0]: value}, "skipped": []}
+        with span("service.sweep", scheme=query.scheme):
+            profile = scheme_bus_profile(
+                query.scheme,
+                query.n_processors,
+                query.n_memories,
+                list(query.bus_counts),
+                model,
+                **dict(query.network_kwargs),
+            )
+        return {
+            "values": dict(profile.values),
+            "skipped": [_skip_record(cell) for cell in profile.skipped],
+        }
+
+    def _flush_cells(self, items: list) -> list:
+        """Batch-window flush: one grid call per profile-signature group.
+
+        Infeasible cells come back as per-item
+        :class:`~repro.exceptions.ConfigurationError` rejections carrying
+        the audited skip reason, exactly what the per-cell constructor
+        path would have raised.
+        """
+        registry = get_registry()
+        cells = [
+            GridCell.from_kwargs(
+                query.scheme,
+                query.n_processors,
+                query.n_memories,
+                query.bus_counts[0],
+                model,
+                **dict(query.network_kwargs),
+            )
+            for query, model in items
+        ]
+        groups = len({cell.profile_signature() for cell in cells})
+        registry.increment("service.batch.flushes")
+        registry.increment("service.batch.cells", len(cells))
+        registry.increment("service.batch.groups", groups)
+        with span("service.batch_flush", cells=len(cells), groups=groups):
+            raw = evaluate_cells(cells)
+        return [
+            ConfigurationError(result.reason)
+            if isinstance(result, SkippedCell)
+            else result
+            for result in raw
+        ]
+
+    # ------------------------------------------------------------------
+    # Tier 1: the result LRU
+    # ------------------------------------------------------------------
+
+    def _lru_get(self, query: Query) -> dict | None:
+        result = self._results.get(query)
+        if result is not None:
+            self._results.move_to_end(query)
+        return result
+
+    def _lru_put(self, query: Query, result: dict) -> None:
+        if self._cache_size == 0:
+            return
+        self._results[query] = result
+        self._results.move_to_end(query)
+        while len(self._results) > self._cache_size:
+            self._results.popitem(last=False)
+            get_registry().increment("service.cache.evictions")
+
+    def clear_cache(self) -> None:
+        """Drop every finished result (in-flight computations are kept)."""
+        self._results.clear()
+
+    def close(self) -> None:
+        """Tear down the batch window, cancelling queued submissions."""
+        self._batch.close()

@@ -1,0 +1,277 @@
+"""Stdlib HTTP/1.1 front-end over the query engine (asyncio streams).
+
+No web framework: a long-lived ``asyncio.start_server`` loop parses
+minimal HTTP/1.1 requests (request line, headers, ``Content-Length``
+body) and maps four routes onto the engine::
+
+    POST /query    one (scheme, N, M, B, r, model) cell
+    POST /sweep    one scheme over a bus-count vector
+    GET  /healthz  liveness + engine occupancy
+    GET  /metrics  Prometheus text dump of the active telemetry registry
+
+Success responses are the engine's JSON envelopes; every failure —
+malformed JSON, oversized bodies, invalid parameters, shed requests —
+is a structured JSON error envelope from
+:func:`repro.service.protocol.error_envelope` with the matching status
+code (400/413/429), never a traceback.  Shed responses additionally
+carry a ``Retry-After`` header with the admission controller's
+deterministic hint rounded up to whole seconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+from repro.exceptions import (
+    AdmissionError,
+    ConfigurationError,
+    QueryTooLargeError,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.exporters import prometheus_text
+from repro.service.engine import QueryEngine
+from repro.service.protocol import error_envelope
+
+__all__ = ["BandwidthService"]
+
+_MAX_HEADER_BYTES = 16 * 1024
+
+
+class _BadRequest(ConfigurationError):
+    """Framing-level rejection (malformed request line or headers)."""
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> tuple[str, str, bytes, bool]:
+    """Parse one request; returns ``(method, path, body, close)``."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise EOFError
+    try:
+        method, path, _version = (
+            request_line.decode("latin-1").strip().split(" ", 2)
+        )
+    except ValueError:
+        raise _BadRequest("malformed HTTP request line") from None
+
+    content_length = 0
+    close = False
+    header_bytes = 0
+    while True:
+        line = await reader.readline()
+        header_bytes += len(line)
+        if header_bytes > _MAX_HEADER_BYTES:
+            raise _BadRequest("headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        name = name.strip().lower()
+        if name == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _BadRequest(
+                    f"bad Content-Length: {value.strip()!r}"
+                ) from None
+        elif name == "connection":
+            close = value.strip().lower() == "close"
+    if content_length < 0:
+        raise _BadRequest(f"bad Content-Length: {content_length}")
+    if content_length > max_body:
+        raise QueryTooLargeError(
+            f"request body of {content_length} bytes exceeds the "
+            f"{max_body}-byte limit"
+        )
+    body = (
+        await reader.readexactly(content_length) if content_length else b""
+    )
+    return method, path, body, close
+
+
+class BandwidthService:
+    """Bind a :class:`~repro.service.engine.QueryEngine` to a TCP port."""
+
+    def __init__(
+        self, engine: QueryEngine, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.engine = engine
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.sockets[0].getsockname()[1]
+        return self._port
+
+    async def start(self) -> int:
+        """Start accepting connections; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop accepting connections and tear the engine down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in tuple(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        self.engine.close()
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    method, path, body, close = await _read_request(
+                        reader, self.engine.limits.max_body_bytes
+                    )
+                except (
+                    EOFError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    break
+                except Exception as exc:
+                    await self._send_error(writer, exc)
+                    break
+                try:
+                    status, payload, headers = await self._dispatch(
+                        method, path, body
+                    )
+                except Exception as exc:
+                    get_registry().increment(
+                        "service.http.errors", type=type(exc).__name__
+                    )
+                    status, envelope = error_envelope(exc)
+                    headers = _retry_headers(exc)
+                    payload = json.dumps(envelope).encode()
+                await _write_response(writer, status, payload, headers)
+                if close:  # client sent Connection: close
+                    break
+        except asyncio.CancelledError:
+            # Server shutdown: finishing quietly (rather than staying in a
+            # cancelled state) keeps asyncio's stream done-callback from
+            # logging a spurious CancelledError for every idle keep-alive.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes, dict[str, str]]:
+        registry = get_registry()
+        registry.increment("service.http.requests", path=path)
+        if path == "/healthz" and method == "GET":
+            health = {
+                "ok": True,
+                "status": "serving",
+                "inflight": self.engine.inflight_count,
+                "queue_depth": self.engine.queue_depth,
+                "cached_results": self.engine.cache_size,
+            }
+            return 200, json.dumps(health).encode(), {}
+        if path == "/metrics" and method == "GET":
+            text = prometheus_text(registry)
+            return 200, text.encode(), {"Content-Type": "text/plain"}
+        if path in ("/query", "/sweep"):
+            if method != "POST":
+                raise _BadRequest(f"{path} requires POST, got {method}")
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"request body is not valid JSON: {exc}"
+                ) from exc
+            response = await self.engine.execute_payload(
+                payload, sweep=(path == "/sweep")
+            )
+            return 200, json.dumps(response.payload()).encode(), {}
+        envelope = {
+            "ok": False,
+            "error": {
+                "status": 404,
+                "type": "NotFound",
+                "message": f"no route for {method} {path}",
+            },
+        }
+        return 404, json.dumps(envelope).encode(), {}
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, exc: BaseException
+    ) -> None:
+        status, envelope = error_envelope(exc)
+        await _write_response(
+            writer, status, json.dumps(envelope).encode(), _retry_headers(exc)
+        )
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _retry_headers(exc: BaseException) -> dict[str, str]:
+    if isinstance(exc, AdmissionError):
+        return {"Retry-After": str(math.ceil(exc.retry_after_seconds))}
+    return {}
+
+
+async def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    headers: dict[str, str],
+) -> None:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Length: {len(payload)}",
+    ]
+    header_names = {name.lower() for name in headers}
+    if "content-type" not in header_names:
+        lines.append("Content-Type: application/json")
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    writer.write(head + payload)
+    try:
+        await writer.drain()
+    except ConnectionError:
+        pass

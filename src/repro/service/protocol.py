@@ -1,0 +1,408 @@
+"""Wire protocol of the bandwidth-query service: queries and envelopes.
+
+One JSON object in, one JSON envelope out.  Requests are parsed into the
+frozen (hence hashable) :class:`Query` dataclass — the *same object* is
+the canonical key of the result LRU and the in-flight coalescing map, so
+two requests that normalize identically coalesce by construction.
+
+Validation runs entirely through the library's typed error path:
+structurally invalid parameters raise
+:class:`~repro.exceptions.ConfigurationError`, invalid request-model
+specs raise :class:`~repro.exceptions.ModelError`, and work beyond the
+configured limits raises
+:class:`~repro.exceptions.QueryTooLargeError` — the front-end maps each
+type to a structured 4xx envelope (:func:`error_envelope`), never a
+traceback.
+
+The JSON schema (``/query``; ``/sweep`` replaces ``"B"`` with a list)::
+
+    {
+      "scheme": "full" | "single" | "partial" | "kclass" | "crossbar",
+      "N": 16, "M": 16, "B": 8, "r": 0.5,
+      "model": "unif" | "hier",
+      "hierarchy": {"clusters": 4, "fractions": [0.6, 0.3, 0.1]},
+      "n_groups": 2,            # partial only
+      "class_sizes": [8, 8]     # kclass only
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Mapping
+
+from repro.core.hierarchy import paper_two_level_model
+from repro.core.request_models import RequestModel, UniformRequestModel
+from repro.exceptions import (
+    AdmissionError,
+    ConfigurationError,
+    ModelError,
+    QueryTooLargeError,
+    ReproError,
+)
+
+__all__ = [
+    "SCHEMES",
+    "ServiceLimits",
+    "Query",
+    "parse_query",
+    "build_model",
+    "status_for",
+    "error_envelope",
+]
+
+SCHEMES = ("full", "single", "partial", "kclass", "crossbar")
+
+_MODEL_ALIASES = {
+    "unif": "unif",
+    "uniform": "unif",
+    "hier": "hier",
+    "hierarchical": "hier",
+}
+
+#: Query fields that become network kwargs, with their target scheme.
+_NETWORK_FIELDS = {"n_groups": "partial", "class_sizes": "kclass"}
+
+_KNOWN_FIELDS = frozenset(
+    {"scheme", "N", "M", "B", "bus_counts", "r", "model", "hierarchy"}
+    | set(_NETWORK_FIELDS)
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceLimits:
+    """Hard ceilings the parser enforces before any work is admitted."""
+
+    max_machine: int = 1024  #: largest accepted N or M
+    max_sweep_cells: int = 512  #: largest accepted bus-count vector
+    max_body_bytes: int = 1 << 20  #: largest accepted HTTP body
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    """A normalized bandwidth query; hashable, so it *is* the cache key.
+
+    ``bus_counts`` holds one entry for a single-cell query and the full
+    vector for a sweep.  ``clusters`` / ``fractions`` describe the
+    hierarchical request model and are ``None`` for the uniform model, so
+    equivalent requests hash equal regardless of spelling.
+    """
+
+    scheme: str
+    n_processors: int
+    n_memories: int
+    bus_counts: tuple[int, ...]
+    rate: float
+    model: str
+    clusters: int | None = None
+    fractions: tuple[float, ...] | None = None
+    network_kwargs: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def is_sweep(self) -> bool:
+        """True when the query spans more than one bus count."""
+        return len(self.bus_counts) > 1
+
+    def model_signature(self) -> tuple:
+        """Key identifying the request model this query evaluates under.
+
+        Queries sharing a signature reuse one
+        :class:`~repro.core.request_models.RequestModel` instance inside
+        the engine, which is what lets the micro-batcher group them into
+        one grid call (see
+        :meth:`repro.analysis.batch.GridCell.profile_signature`).
+        """
+        return (
+            self.model, self.n_processors, self.n_memories, self.rate,
+            self.clusters, self.fractions,
+        )
+
+
+def _require_int(payload: Mapping, field: str, minimum: int = 1) -> int:
+    value = payload.get(field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"field {field!r} must be an integer, got {value!r}"
+        )
+    if value < minimum:
+        raise ConfigurationError(
+            f"field {field!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _require_rate(payload: Mapping) -> float:
+    value = payload.get("r", 1.0)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"field 'r' must be a number, got {value!r}"
+        )
+    value = float(value)
+    if not math.isfinite(value):
+        raise ConfigurationError(
+            f"field 'r' must be finite, got {value!r}"
+        )
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(
+            f"request rate must be in [0, 1], got {value}"
+        )
+    return value
+
+
+def _parse_bus_counts(
+    payload: Mapping, sweep: bool, limits: ServiceLimits
+) -> tuple[int, ...]:
+    raw = payload.get("B", payload.get("bus_counts"))
+    if raw is None:
+        raise ConfigurationError("field 'B' is required")
+    if not sweep:
+        if isinstance(raw, bool) or not isinstance(raw, int):
+            raise ConfigurationError(
+                f"field 'B' must be an integer for /query, got {raw!r}"
+            )
+        raw = [raw]
+    elif isinstance(raw, bool) or isinstance(raw, int):
+        raw = [raw]
+    elif not isinstance(raw, (list, tuple)):
+        raise ConfigurationError(
+            f"field 'B' must be an integer or a list, got {raw!r}"
+        )
+    if sweep and len(raw) > limits.max_sweep_cells:
+        raise QueryTooLargeError(
+            f"sweep asks for {len(raw)} bus counts, limit is "
+            f"{limits.max_sweep_cells}"
+        )
+    if not raw:
+        raise ConfigurationError("field 'B' must not be empty")
+    counts = []
+    for b in raw:
+        if isinstance(b, bool) or not isinstance(b, int):
+            raise ConfigurationError(
+                f"bus counts must be integers, got {b!r}"
+            )
+        if not 1 <= b <= limits.max_machine:
+            raise ConfigurationError(
+                f"bus count must be in [1, {limits.max_machine}], got {b}"
+            )
+        counts.append(b)
+    return tuple(counts)
+
+
+def _parse_hierarchy(
+    payload: Mapping, n_processors: int, n_memories: int
+) -> tuple[int, tuple[float, ...]]:
+    spec = payload.get("hierarchy", {})
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"field 'hierarchy' must be an object, got {spec!r}"
+        )
+    unknown = set(spec) - {"clusters", "fractions"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown hierarchy fields: {sorted(unknown)}"
+        )
+    if n_memories != n_processors:
+        raise ConfigurationError(
+            "the hierarchical model is N x N: M must equal N, got "
+            f"N={n_processors} M={n_memories}"
+        )
+    clusters = spec.get("clusters", 4)
+    if isinstance(clusters, bool) or not isinstance(clusters, int):
+        raise ConfigurationError(
+            f"hierarchy 'clusters' must be an integer, got {clusters!r}"
+        )
+    if clusters < 1:
+        raise ConfigurationError(
+            f"hierarchy 'clusters' must be >= 1, got {clusters}"
+        )
+    fractions = spec.get("fractions", (0.6, 0.3, 0.1))
+    if not isinstance(fractions, (list, tuple)):
+        raise ConfigurationError(
+            f"hierarchy 'fractions' must be a list, got {fractions!r}"
+        )
+    cleaned = []
+    for value in fractions:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"hierarchy fractions must be numbers, got {value!r}"
+            )
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ConfigurationError(
+                "hierarchy fractions must be finite and non-negative, "
+                f"got {value!r}"
+            )
+        cleaned.append(value)
+    return clusters, tuple(cleaned)
+
+
+def _parse_network_kwargs(
+    payload: Mapping, scheme: str, n_memories: int, limits: ServiceLimits
+) -> tuple[tuple[str, object], ...]:
+    kwargs: list[tuple[str, object]] = []
+    for field, target_scheme in sorted(_NETWORK_FIELDS.items()):
+        if field not in payload:
+            continue
+        if scheme != target_scheme:
+            raise ConfigurationError(
+                f"field {field!r} only applies to scheme "
+                f"{target_scheme!r}, not {scheme!r}"
+            )
+        value = payload[field]
+        if field == "n_groups":
+            kwargs.append((field, _require_int(payload, field)))
+        else:  # class_sizes
+            if not isinstance(value, (list, tuple)) or not value:
+                raise ConfigurationError(
+                    f"field 'class_sizes' must be a non-empty list, "
+                    f"got {value!r}"
+                )
+            if len(value) > limits.max_machine:
+                raise QueryTooLargeError(
+                    f"class_sizes lists {len(value)} classes, limit is "
+                    f"{limits.max_machine}"
+                )
+            sizes = []
+            for s in value:
+                if isinstance(s, bool) or not isinstance(s, int):
+                    raise ConfigurationError(
+                        f"class sizes must be integers, got {s!r}"
+                    )
+                if s < 0:
+                    raise ConfigurationError(
+                        f"class sizes must be non-negative, got {s}"
+                    )
+                sizes.append(s)
+            if sum(sizes) != n_memories:
+                raise ConfigurationError(
+                    f"class sizes {sizes} sum to {sum(sizes)}, expected "
+                    f"M={n_memories}"
+                )
+            kwargs.append((field, tuple(sizes)))
+    return tuple(kwargs)
+
+
+def parse_query(
+    payload: object,
+    sweep: bool = False,
+    limits: ServiceLimits | None = None,
+) -> Query:
+    """Validate a decoded JSON payload into a normalized :class:`Query`.
+
+    ``sweep`` selects the ``/sweep`` shape (``"B"`` may be a list);
+    ``/query`` requires a single integer ``"B"``.  Every rejection is a
+    typed library error (:class:`~repro.exceptions.ConfigurationError`,
+    :class:`~repro.exceptions.ModelError` or
+    :class:`~repro.exceptions.QueryTooLargeError`) so the front-end can
+    map it to a structured 4xx envelope.
+    """
+    limits = limits or ServiceLimits()
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = set(payload) - _KNOWN_FIELDS
+    if unknown:
+        raise ConfigurationError(f"unknown fields: {sorted(unknown)}")
+
+    scheme = payload.get("scheme")
+    if scheme not in SCHEMES:
+        raise ConfigurationError(
+            f"field 'scheme' must be one of {list(SCHEMES)}, got {scheme!r}"
+        )
+    n_processors = _require_int(payload, "N")
+    n_memories = (
+        _require_int(payload, "M") if "M" in payload else n_processors
+    )
+    for name, value in (("N", n_processors), ("M", n_memories)):
+        if value > limits.max_machine:
+            raise QueryTooLargeError(
+                f"field {name!r} is {value}, limit is {limits.max_machine}"
+            )
+    bus_counts = _parse_bus_counts(payload, sweep, limits)
+    rate = _require_rate(payload)
+
+    model = payload.get("model", "unif")
+    if not isinstance(model, str) or model not in _MODEL_ALIASES:
+        raise ConfigurationError(
+            f"field 'model' must be one of {sorted(_MODEL_ALIASES)}, "
+            f"got {model!r}"
+        )
+    model = _MODEL_ALIASES[model]
+    clusters: int | None = None
+    fractions: tuple[float, ...] | None = None
+    if model == "hier":
+        clusters, fractions = _parse_hierarchy(
+            payload, n_processors, n_memories
+        )
+    elif "hierarchy" in payload:
+        raise ConfigurationError(
+            "field 'hierarchy' only applies when model is 'hier'"
+        )
+
+    network_kwargs = _parse_network_kwargs(
+        payload, scheme, n_memories, limits
+    )
+    return Query(
+        scheme=scheme,
+        n_processors=n_processors,
+        n_memories=n_memories,
+        bus_counts=bus_counts,
+        rate=rate,
+        model=model,
+        clusters=clusters,
+        fractions=fractions,
+        network_kwargs=network_kwargs,
+    )
+
+
+def build_model(query: Query) -> RequestModel:
+    """Construct the request model a query evaluates under.
+
+    Raises :class:`~repro.exceptions.ModelError` for hierarchy specs the
+    model constructors reject (cluster count not dividing ``N``,
+    fractions that do not normalize, ...), keeping model validation on
+    the same typed path as the constructors themselves.
+    """
+    if query.model == "hier":
+        return paper_two_level_model(
+            query.n_processors,
+            rate=query.rate,
+            clusters=query.clusters,
+            aggregate_fractions=query.fractions,
+        )
+    return UniformRequestModel(
+        query.n_processors, query.n_memories, rate=query.rate
+    )
+
+
+def status_for(exc: BaseException) -> int:
+    """HTTP status a failure maps to (500 for non-library errors)."""
+    if isinstance(exc, AdmissionError):
+        return 429
+    if isinstance(exc, QueryTooLargeError):
+        return 413
+    if isinstance(exc, (ConfigurationError, ModelError)):
+        return 400
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+def error_envelope(exc: BaseException) -> tuple[int, dict]:
+    """``(status, body)`` of the structured error envelope for ``exc``.
+
+    The body never carries a traceback — only the exception type, its
+    message and, for shed requests, the deterministic retry-after hint.
+    """
+    status = status_for(exc)
+    error: dict[str, object] = {
+        "status": status,
+        "type": type(exc).__name__,
+        "message": str(exc) if status != 500 else "internal error",
+    }
+    if isinstance(exc, AdmissionError):
+        error["retry_after_s"] = round(exc.retry_after_seconds, 6)
+        error["reason"] = exc.reason
+    return status, {"ok": False, "error": error}

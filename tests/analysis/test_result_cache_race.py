@@ -1,0 +1,131 @@
+"""Two-writer race on ResultCache: same key, concurrent puts.
+
+The regression this pins: with a pid-only temp-file suffix, two threads
+of one process writing the same key open the *same* temp file — the
+loser of the ``os.replace`` race keeps writing into the inode the
+winner already published, so readers observe a torn entry (which the
+checksum then quarantines, turning a healthy write into a miss).  The
+fix gives every ``put`` a (process, thread, call)-unique temp name, so
+the published file is always one writer's complete envelope.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.parallel import ResultCache
+
+ROUNDS = 200
+
+
+def _race(cache: ResultCache, key: str, writers: int, rounds: int,
+          payload) -> list:
+    errors = []
+
+    for round_index in range(rounds):
+        barrier = threading.Barrier(writers)
+
+        def worker(index):
+            try:
+                barrier.wait()
+                cache.put(key, payload(index, round_index))
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    return errors
+
+
+def test_two_concurrent_same_key_writers_never_corrupt_the_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key({"scheme": "full", "N": 64, "B": 32})
+
+    def payload(index, round_index):
+        # large values widen the torn-write window the old code had
+        return {"writer": index, "round": round_index,
+                "values": [float(index)] * 2_000}
+
+    errors = _race(cache, key, writers=2, rounds=ROUNDS, payload=payload)
+    assert not errors
+
+    value = cache.get(key)
+    # the entry is exactly one writer's final payload, never a blend
+    assert value is not None, "entry was quarantined: torn write"
+    assert value["round"] == ROUNDS - 1
+    assert value["values"] == [float(value["writer"])] * 2_000
+
+    assert cache.quarantined_files() == []
+    assert list(tmp_path.glob("*.tmp.*")) == [], "leaked temp files"
+    assert len(cache) == 1
+
+
+def test_many_writers_many_keys_all_entries_stay_verifiable(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = [ResultCache.key({"cell": i}) for i in range(4)]
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def worker(index):
+        try:
+            barrier.wait()
+            for round_index in range(100):
+                key = keys[(index + round_index) % len(keys)]
+                cache.put(key, {"writer": index, "round": round_index,
+                                "pad": "x" * 512})
+        except Exception as exc:  # pragma: no cover - fail loudly
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+    for key in keys:
+        value = cache.get(key)
+        assert value is not None, "entry was quarantined: torn write"
+        assert set(value) == {"writer", "round", "pad"}
+    assert cache.quarantined_files() == []
+    assert list(tmp_path.glob("*.tmp.*")) == []
+    assert len(cache) == len(keys)
+
+
+def test_reader_during_write_storm_sees_only_complete_envelopes(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = ResultCache.key({"cell": "contended"})
+    cache.put(key, {"writer": -1, "round": -1})
+    stop = threading.Event()
+    errors = []
+
+    def writer(index):
+        try:
+            round_index = 0
+            while not stop.is_set():
+                cache.put(key, {"writer": index, "round": round_index})
+                round_index += 1
+        except Exception as exc:  # pragma: no cover - fail loudly
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(300):
+            value = cache.get(key)
+            # a verified read mid-storm: never a torn/quarantined entry
+            assert value is not None
+            assert set(value) == {"writer", "round"}
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert not errors
+    assert cache.quarantined_files() == []

@@ -1,0 +1,93 @@
+"""Concurrency stress: PmfCache under 8 reader/writer threads.
+
+The pmf cache is shared by every closed-form consumer, including the
+parallel sweep executor's worker threads and (transitively) the query
+service, so its accounting must stay exact under contention: no lost
+hit/miss counts, ``currsize`` never above ``maxsize``, evictions never
+over-counted, and every returned vector bit-identical to the uncached
+reference no matter which thread computed it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import numpy as np
+
+from repro.core.binomial import binomial_pmf
+from repro.core.cache import PmfCache
+
+THREADS = 8
+LOOKUPS_PER_THREAD = 400
+
+#: More distinct keys than cache capacity, so eviction churns constantly.
+KEYS = [(n, p) for n in (4, 8, 12, 16) for p in
+        (0.05, 0.1, 0.2, 0.3, 0.5, 0.7)]
+
+
+def _hammer(cache: PmfCache, reference: dict) -> list:
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def worker(seed):
+        rng = random.Random(seed)
+        try:
+            barrier.wait()
+            for _ in range(LOOKUPS_PER_THREAD):
+                n, p = rng.choice(KEYS)
+                value = cache.binomial(n, p)
+                assert not value.flags.writeable
+                assert np.array_equal(value, reference[(n, p)])
+        except Exception as exc:  # pragma: no cover - fail loudly
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(1_000 + i,))
+        for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+def test_contended_cache_accounting_is_exact():
+    cache = PmfCache(maxsize=8)  # far fewer slots than the 24 keys
+    reference = {(n, p): binomial_pmf(n, p) for n, p in KEYS}
+
+    errors = _hammer(cache, reference)
+    assert not errors
+
+    info = cache.cache_info()
+    # every lookup was either a hit or a miss: none lost, none doubled
+    assert info.hits + info.misses == THREADS * LOOKUPS_PER_THREAD
+    assert info.currsize <= info.maxsize == 8
+    # each miss inserts at most one entry; an eviction only ever removes
+    # one inserted entry, so evictions can never exceed insertions
+    # beyond what is still resident (the duplicate-eviction guard)
+    assert cache.evictions + info.currsize <= info.misses
+    assert info.hits > 0 and info.misses > 0 and cache.evictions > 0
+
+
+def test_counters_are_stable_after_quiesce():
+    cache = PmfCache(maxsize=8)
+    reference = {(n, p): binomial_pmf(n, p) for n, p in KEYS}
+    assert not _hammer(cache, reference)
+    first = (cache.cache_info(), cache.evictions)
+    second = (cache.cache_info(), cache.evictions)
+    assert first == second
+
+
+def test_contended_entries_stay_bit_identical_to_reference():
+    cache = PmfCache(maxsize=len(KEYS))  # no eviction: pure sharing
+    reference = {(n, p): binomial_pmf(n, p) for n, p in KEYS}
+    assert not _hammer(cache, reference)
+    info = cache.cache_info()
+    assert info.currsize == len(KEYS)
+    # a fully warm cache serves every key from the same frozen vector
+    for n, p in KEYS:
+        again = cache.binomial(n, p)
+        assert again is cache.binomial(n, p)
+        assert np.array_equal(again, reference[(n, p)])

@@ -1,0 +1,133 @@
+"""Concurrency stress: MetricsRegistry under 8 writer threads.
+
+The registry backs every instrumented hot path — simulation backends,
+the pmf cache, the batch engine and now the query service — so lost
+increments would silently corrupt manifests and the coverage the
+benchmarks assert on.  Eight threads hammer shared and per-thread
+series through a start barrier; afterwards every counter, histogram
+and event total must be exact, and repeated snapshots must be stable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+def _run_threads(worker):
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def wrapped(index):
+        try:
+            barrier.wait()
+            worker(index)
+        except Exception as exc:  # pragma: no cover - fail loudly
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+
+def test_no_lost_increments_on_shared_counter():
+    registry = MetricsRegistry()
+
+    def worker(index):
+        for _ in range(ITERATIONS):
+            registry.increment("stress.shared")
+            registry.increment("stress.labeled", thread=index)
+            registry.increment("stress.weighted", 3)
+
+    _run_threads(worker)
+    counters = registry.counters()
+    assert counters[("stress.shared", ())] == THREADS * ITERATIONS
+    assert counters[("stress.weighted", ())] == 3 * THREADS * ITERATIONS
+    for index in range(THREADS):
+        key = ("stress.labeled", (("thread", str(index)),))
+        assert counters[key] == ITERATIONS
+
+
+def test_histogram_totals_are_exact_under_contention():
+    registry = MetricsRegistry()
+
+    def worker(index):
+        for i in range(ITERATIONS):
+            registry.observe("stress.histogram", float(index))
+
+    _run_threads(worker)
+    summary = registry.histograms()[("stress.histogram", ())]
+    assert summary.count == THREADS * ITERATIONS
+    assert summary.min == 0.0
+    assert summary.max == float(THREADS - 1)
+    expected_total = ITERATIONS * sum(range(THREADS))
+    assert summary.total == pytest.approx(expected_total)
+
+
+def test_event_sequence_numbers_are_unique_and_complete():
+    registry = MetricsRegistry()
+    per_thread = 250
+
+    def worker(index):
+        for i in range(per_thread):
+            registry.record_event("stress.event", thread=index, i=i)
+
+    _run_threads(worker)
+    events = registry.events()
+    assert len(events) == THREADS * per_thread
+    seqs = [event["seq"] for event in events]
+    assert len(set(seqs)) == len(seqs)
+    # every (thread, i) pair arrived exactly once
+    pairs = {(e["thread"], e["i"]) for e in events}
+    assert len(pairs) == THREADS * per_thread
+
+
+def test_snapshots_are_stable_after_quiesce():
+    registry = MetricsRegistry()
+
+    def worker(index):
+        for _ in range(ITERATIONS):
+            registry.increment("stress.quiesce")
+            registry.observe("stress.quiesce.hist", 1.0)
+
+    _run_threads(worker)
+    first = (registry.counters(), registry.histograms()[
+        ("stress.quiesce.hist", ())
+    ].count)
+    second = (registry.counters(), registry.histograms()[
+        ("stress.quiesce.hist", ())
+    ].count)
+    assert first == second
+
+
+def test_mixed_write_paths_do_not_interfere():
+    registry = MetricsRegistry()
+
+    def worker(index):
+        for i in range(500):
+            registry.increment("stress.mixed.counter")
+            registry.set_gauge("stress.mixed.gauge", i, thread=index)
+            with registry.time_block("stress.mixed.timer"):
+                pass
+            registry.record_event("stress.mixed.event")
+
+    _run_threads(worker)
+    assert registry.counters()[("stress.mixed.counter", ())] == THREADS * 500
+    assert registry.histograms()[
+        ("stress.mixed.timer", ())
+    ].count == THREADS * 500
+    assert len(registry.events()) == THREADS * 500
+    for index in range(THREADS):
+        key = ("stress.mixed.gauge", (("thread", str(index)),))
+        assert registry.gauges()[key] == 499.0

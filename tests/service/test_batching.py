@@ -1,0 +1,127 @@
+"""BatchWindow scheduling: tick/size/delay flushes and failure modes."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.batching import BatchWindow
+
+
+def test_same_tick_submissions_share_one_flush():
+    batches = []
+
+    async def main():
+        window = BatchWindow(lambda items: batches.append(list(items))
+                             or [i * 10 for i in items])
+        results = await asyncio.gather(*[window.submit(i) for i in range(4)])
+        return results
+
+    results = asyncio.run(main())
+    assert results == [0, 10, 20, 30]
+    assert batches == [[0, 1, 2, 3]]
+
+
+def test_max_size_flushes_immediately():
+    batches = []
+
+    async def main():
+        window = BatchWindow(lambda items: batches.append(list(items))
+                             or list(items), max_size=2)
+        futures = [window.submit(i) for i in range(5)]
+        assert window.flushes == 2  # two full windows flushed inline
+        assert window.pending == 1  # the fifth item waits for the tick
+        return await asyncio.gather(*futures)
+
+    results = asyncio.run(main())
+    assert results == [0, 1, 2, 3, 4]
+    assert batches == [[0, 1], [2, 3], [4]]
+
+
+def test_max_delay_timer_path_flushes_once():
+    batches = []
+
+    async def main():
+        window = BatchWindow(lambda items: batches.append(list(items))
+                             or list(items), max_delay=0.01)
+        first = window.submit("a")
+        second = window.submit("b")
+        assert window.pending == 2  # queued until the timer fires
+        return await asyncio.gather(first, second)
+
+    assert asyncio.run(main()) == ["a", "b"]
+    assert batches == [["a", "b"]]
+
+
+def test_flush_exception_fails_the_whole_window_and_resets():
+    calls = []
+
+    def flaky(items):
+        calls.append(list(items))
+        if len(calls) == 1:
+            raise RuntimeError("kernel exploded")
+        return list(items)
+
+    async def main():
+        window = BatchWindow(flaky)
+        failures = await asyncio.gather(
+            window.submit(1), window.submit(2), return_exceptions=True
+        )
+        # the error did not poison the scheduler: next window is clean
+        recovered = await window.submit(3)
+        return failures, recovered
+
+    failures, recovered = asyncio.run(main())
+    assert all(isinstance(f, RuntimeError) for f in failures)
+    assert recovered == 3
+    assert calls == [[1, 2], [3]]
+
+
+def test_per_item_exception_results_fail_only_that_item():
+    def flush(items):
+        return [ValueError(f"bad {i}") if i % 2 else i for i in items]
+
+    async def main():
+        window = BatchWindow(flush)
+        return await asyncio.gather(
+            *[window.submit(i) for i in range(4)], return_exceptions=True
+        )
+
+    ok_0, bad_1, ok_2, bad_3 = asyncio.run(main())
+    assert (ok_0, ok_2) == (0, 2)
+    assert isinstance(bad_1, ValueError) and isinstance(bad_3, ValueError)
+
+
+def test_result_count_mismatch_rejects_every_future():
+    async def main():
+        window = BatchWindow(lambda items: [1])  # wrong arity
+        return await asyncio.gather(
+            window.submit("a"), window.submit("b"), return_exceptions=True
+        )
+
+    results = asyncio.run(main())
+    assert all(isinstance(r, ConfigurationError) for r in results)
+    assert all("2 items" in str(r) for r in results)
+
+
+def test_close_cancels_pending_submissions():
+    async def main():
+        window = BatchWindow(lambda items: list(items), max_delay=10.0)
+        future = window.submit("never")
+        window.close()
+        assert window.pending == 0
+        with pytest.raises(asyncio.CancelledError):
+            await future
+
+    asyncio.run(main())
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_size": 0},
+    {"max_delay": -0.1},
+])
+def test_invalid_bounds_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        BatchWindow(lambda items: items, **kwargs)
