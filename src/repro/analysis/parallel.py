@@ -496,7 +496,16 @@ def _pool_map(
 
 
 def _simulated_cell(spec: dict) -> dict[str, object]:
-    """Worker: simulate one sweep cell (module-level, picklable)."""
+    """Worker: simulate one sweep cell (module-level, picklable).
+
+    The ``analytic`` reference value normally comes from a local
+    :func:`~repro.analysis.evaluate.analytic_bandwidth` call; when a
+    surface arena is advertised through ``REPRO_SURFACES_PREFIX`` (see
+    :func:`repro.surfaces.store.sweep_analytic_from_env`) and the cell
+    lands on a published gridpoint, it is read zero-copy from shared
+    memory instead — batch and service paths then share one cache
+    identity.
+    """
     network = build_network(
         spec["scheme"],
         spec["N"],
@@ -512,6 +521,15 @@ def _simulated_cell(spec: dict) -> dict[str, object]:
         seed=spec["seed"],
         backend=spec["backend"],
     )
+    analytic = None
+    if os.environ.get("REPRO_SURFACES_PREFIX"):
+        # Lazy import: repro.surfaces pulls in this package, so a
+        # top-level import here would be circular.
+        from repro.surfaces.store import sweep_analytic_from_env
+
+        analytic = sweep_analytic_from_env(spec)
+    if analytic is None:
+        analytic = analytic_bandwidth(network, model)
     return {
         "scheme": spec["scheme"],
         "N": spec["N"],
@@ -519,7 +537,7 @@ def _simulated_cell(spec: dict) -> dict[str, object]:
         "B": spec["B"],
         "r": spec["r"],
         "model": spec["model_name"],
-        "analytic": analytic_bandwidth(network, model),
+        "analytic": analytic,
         "bandwidth": result.bandwidth,
         "ci95": result.bandwidth_ci95,
     }

@@ -1,11 +1,18 @@
-"""The asyncio query engine: LRU -> coalescing map -> batched kernels.
+"""The asyncio query engine: surfaces -> LRU -> coalescing -> kernels.
 
 Chen & Sheu's closed forms make a bandwidth cell cheap to compute but
 highly repetitive across callers — millions of users sweep the same
 handful of machine shapes.  :class:`QueryEngine` exploits that shape
-with a three-tier pipeline, all keyed on the normalized
+with a tiered pipeline, all keyed on the normalized
 :class:`~repro.service.protocol.Query` itself:
 
+0. **Materialized surfaces** (opt-in) — single-cell queries whose model
+   signature has a surface published in the shared-memory arena are
+   answered by a zero-copy array read (``source="surface"``), or by
+   linear interpolation along the rate axis when enabled
+   (``source="surface_interp"``).  Exact gridpoint reads are
+   bit-identical to the batched kernels — the surfaces were filled by
+   them.  Misses fall through and feed hot-signature detection.
 1. **Result LRU** — finished answers, returned instantly
    (``source="cache"``).
 2. **In-flight coalescing map** — a query identical to one currently
@@ -69,7 +76,9 @@ class QueryResponse:
     query: Query
     values: dict[int, float]
     skipped: list[dict[str, object]]
-    source: str  #: ``"cache"`` | ``"coalesced"`` | ``"computed"``
+    #: ``"surface"`` | ``"surface_interp"`` | ``"cache"`` |
+    #: ``"coalesced"`` | ``"computed"``
+    source: str
 
     @property
     def value(self) -> float:
@@ -131,6 +140,10 @@ class QueryEngine:
     limits:
         :class:`~repro.service.protocol.ServiceLimits` applied when
         parsing payloads through :meth:`execute_payload`.
+    surfaces:
+        Optional :class:`~repro.surfaces.store.SurfaceStore` serving as
+        tier zero for single-cell queries.  ``None`` (default) keeps
+        the pre-surfaces pipeline exactly.
     """
 
     def __init__(
@@ -141,6 +154,7 @@ class QueryEngine:
         admission: AdmissionController | None = None,
         limits: ServiceLimits | None = None,
         model_cache_size: int = 512,
+        surfaces=None,
     ):
         if cache_size < 0:
             raise ConfigurationError(
@@ -152,6 +166,7 @@ class QueryEngine:
             )
         self._cache_size = int(cache_size)
         self._admission = admission
+        self.surfaces = surfaces
         self.limits = limits or ServiceLimits()
         self._results: OrderedDict[Query, dict] = OrderedDict()
         self._inflight: dict[Query, asyncio.Future] = {}
@@ -202,6 +217,24 @@ class QueryEngine:
         registry.increment("service.requests", kind=kind)
 
         with registry.time_block("service.latency_seconds", kind=kind):
+            if self.surfaces is not None and not query.is_sweep:
+                value, result_kind = self.surfaces.lookup(query)
+                if value is not None:
+                    registry.increment(
+                        "service.surfaces.hits", kind=result_kind
+                    )
+                    source = (
+                        "surface" if result_kind == "exact"
+                        else "surface_interp"
+                    )
+                    return self._response(
+                        query,
+                        {"values": {query.bus_counts[0]: value},
+                         "skipped": []},
+                        source,
+                    )
+                registry.increment("service.surfaces.misses", kind=result_kind)
+
             cached = self._lru_get(query)
             if cached is not None:
                 registry.increment("service.cache.hits", kind=kind)

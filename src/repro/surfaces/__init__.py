@@ -1,0 +1,53 @@
+"""Materialized bandwidth surfaces served from a shared-memory arena.
+
+The paper's closed forms make every single-cell answer a point on a
+dense ``(bus count, request rate)`` surface per model signature.  This
+package precomputes those surfaces (:mod:`~repro.surfaces.grid`),
+publishes them in a versioned, checksummed shared-memory arena with an
+atomic swap protocol (:mod:`~repro.surfaces.codec`,
+:mod:`~repro.surfaces.arena`), serves zero-copy lookups with optional
+rate interpolation while tracking hot signatures
+(:mod:`~repro.surfaces.store`), and refreshes surfaces in the
+background without blocking the serving loop
+(:mod:`~repro.surfaces.refresh`).
+"""
+
+from repro.surfaces.arena import DEFAULT_PREFIX, LocalArena, SurfaceArena
+from repro.surfaces.codec import SurfaceCodecError, decode, encode
+from repro.surfaces.grid import (
+    DEFAULT_RATE_DIVISIONS,
+    Surface,
+    SurfaceSignature,
+    default_rate_grid,
+    materialize_surface,
+    query_for,
+    signature_of,
+)
+from repro.surfaces.refresh import SurfaceRefresher
+from repro.surfaces.store import (
+    ENV_PREFIX,
+    SurfaceStore,
+    sweep_analytic_from_env,
+    sweep_cell_signature,
+)
+
+__all__ = [
+    "DEFAULT_PREFIX",
+    "DEFAULT_RATE_DIVISIONS",
+    "ENV_PREFIX",
+    "LocalArena",
+    "Surface",
+    "SurfaceArena",
+    "SurfaceCodecError",
+    "SurfaceRefresher",
+    "SurfaceSignature",
+    "SurfaceStore",
+    "decode",
+    "default_rate_grid",
+    "encode",
+    "materialize_surface",
+    "query_for",
+    "signature_of",
+    "sweep_analytic_from_env",
+    "sweep_cell_signature",
+]

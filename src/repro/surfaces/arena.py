@@ -1,0 +1,343 @@
+"""Shared-memory surface arena with an atomic version-swap protocol.
+
+Layout on ``/dev/shm`` (one pair per published signature)::
+
+    {prefix}.{sig12}.ptr   32-byte mutable pointer: magic, seqlock, version
+    {prefix}.{sig12}.v{n}  immutable encoded surface (see ``codec``)
+
+Data segments are **write-once**: a writer fully materializes and
+checksums version ``n`` under a name no reader has seen, then flips the
+tiny pointer segment with a seqlock (sequence goes odd → version write →
+even).  Readers that catch an odd or changed sequence simply retry, so a
+torn *surface* is impossible by construction — the only mutable shared
+state is one 8-byte version slot, and even that is guarded.  After the
+flip the old segment is unlinked; readers already attached keep a valid
+mapping (POSIX keeps the pages until the last ``close``), while new
+readers can only discover the new version.
+
+Resource-tracker hygiene: CPython registers a segment with the
+``multiprocessing.resource_tracker`` on *attach* as well as on create,
+which would make the first exiting reader unlink a live arena.  Every
+attach in this module immediately unregisters, so only creators (and
+:meth:`SurfaceArena.purge`, the post-SIGKILL janitor) ever unlink.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+
+from repro.surfaces.codec import SurfaceCodecError, decode, encode
+from repro.surfaces.grid import Surface, SurfaceSignature
+
+__all__ = ["SurfaceArena", "LocalArena", "DEFAULT_PREFIX"]
+
+DEFAULT_PREFIX = "repro-surf"
+
+_PTR_MAGIC = b"RSPTR001"
+_PTR = struct.Struct("<8sQQQ")  # magic, seqlock, version, reserved flags
+_PTR_SIZE = _PTR.size  # 32 bytes
+_MAX_READ_RETRIES = 64
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    CPython's :class:`~multiprocessing.shared_memory.SharedMemory`
+    registers the segment with the resource tracker even when
+    ``create=False``; left in place, the tracker of the first reader to
+    exit would unlink a segment other processes still serve from.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker may be absent
+        pass
+    return shm
+
+
+def _quiet_close(segment: shared_memory.SharedMemory) -> None:
+    """Close a segment even while zero-copy views over it are alive.
+
+    ``SharedMemory.close`` raises :class:`BufferError` when NumPy views
+    exported from ``buf`` still exist — and its ``__del__`` then retries
+    and spams "Exception ignored" at garbage collection.  Here the
+    still-exported mapping is detached from the object (the views keep
+    it alive; the OS reclaims it when the last view dies) and the
+    descriptor is closed, leaving the finalizer a no-op.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        segment._mmap = None
+        if segment._fd >= 0:
+            os.close(segment._fd)
+            segment._fd = -1
+
+
+class SurfaceArena:
+    """Publish and load encoded surfaces through shared memory.
+
+    One process (the service, or a test writer) owns publishing for a
+    prefix; any number of processes attach read-only.  All methods are
+    safe to call from forked or spawned children — segment names, not
+    object state, are the shared protocol.
+    """
+
+    def __init__(self, prefix: str = DEFAULT_PREFIX) -> None:
+        self.prefix = prefix
+        # Segments this *instance* attached or created, kept alive so
+        # zero-copy numpy views handed out by load() stay valid.
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+        # Signatures this instance has published (for unlink_all).
+        self._published: dict[str, int] = {}
+
+    # -- naming -------------------------------------------------------
+
+    def _ptr_name(self, signature: SurfaceSignature) -> str:
+        return f"{self.prefix}.{signature.short()}.ptr"
+
+    def _data_name(self, signature: SurfaceSignature, version: int) -> str:
+        return f"{self.prefix}.{signature.short()}.v{version}"
+
+    # -- pointer seqlock ----------------------------------------------
+
+    @staticmethod
+    def _read_pointer(buf) -> tuple[int, int] | None:
+        """Seqlock read: ``(sequence, version)``, or ``None`` if torn."""
+        magic, seq1, version, _flags = _PTR.unpack_from(buf, 0)
+        if magic != _PTR_MAGIC or seq1 % 2:
+            return None
+        seq2 = struct.unpack_from("<Q", buf, 8)[0]
+        if seq2 != seq1:
+            return None
+        return seq1, version
+
+    def _pointer(
+        self, signature: SurfaceSignature, create: bool
+    ) -> shared_memory.SharedMemory | None:
+        name = self._ptr_name(signature)
+        shm = self._attached.get(name)
+        if shm is not None:
+            return shm
+        try:
+            shm = _attach(name)
+        except FileNotFoundError:
+            if not create:
+                return None
+            try:
+                shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=_PTR_SIZE
+                )
+                _PTR.pack_into(shm.buf, 0, _PTR_MAGIC, 0, 0, 0)
+            except FileExistsError:
+                shm = _attach(name)
+        self._attached[name] = shm
+        return shm
+
+    # -- public API ---------------------------------------------------
+
+    def version(self, signature: SurfaceSignature) -> int | None:
+        """Currently published version, or ``None`` if never published."""
+        pointer = self._pointer(signature, create=False)
+        if pointer is None:
+            return None
+        for _ in range(_MAX_READ_RETRIES):
+            state = self._read_pointer(pointer.buf)
+            if state is not None:
+                _seq, version = state
+                return version if version > 0 else None
+        return None
+
+    def publish(self, surface: Surface) -> int:
+        """Materialize ``surface`` as the next version and flip the pointer.
+
+        Returns the published version number.  The data segment is
+        fully written and checksummed before the pointer moves; the
+        previous version's segment is unlinked after the flip.
+        """
+        pointer = self._pointer(signature=surface.signature, create=True)
+        state = self._read_pointer(pointer.buf)
+        current = state[1] if state else 0
+        version = max(current, surface.version) + 1
+        surface = Surface(
+            signature=surface.signature,
+            version=version,
+            bus_counts=surface.bus_counts,
+            rates=surface.rates,
+            values=surface.values,
+        )
+        blob = encode(surface)
+        data_name = self._data_name(surface.signature, version)
+        segment = shared_memory.SharedMemory(
+            name=data_name, create=True, size=len(blob)
+        )
+        segment.buf[: len(blob)] = blob
+        self._attached[data_name] = segment
+
+        seq = struct.unpack_from("<Q", pointer.buf, 8)[0]
+        struct.pack_into("<Q", pointer.buf, 8, seq + 1)  # odd: swap begins
+        struct.pack_into("<Q", pointer.buf, 16, version)
+        struct.pack_into("<Q", pointer.buf, 8, seq + 2)  # even: swap done
+        self._published[surface.signature.short()] = version
+
+        if current:
+            self._drop_segment(self._data_name(surface.signature, current))
+        return version
+
+    def load(self, signature: SurfaceSignature) -> Surface | None:
+        """Attach the current version of ``signature``'s surface.
+
+        Zero-copy: the returned :class:`Surface` holds read-only views
+        over the shared segment, which this arena keeps attached.
+        Returns ``None`` when nothing is published.  Retries around
+        concurrent swaps; a reader can never observe a torn surface
+        because data segments are immutable and checksummed.
+        """
+        pointer = self._pointer(signature, create=False)
+        if pointer is None:
+            return None
+        for _ in range(_MAX_READ_RETRIES):
+            state = self._read_pointer(pointer.buf)
+            if state is None:
+                continue  # mid-swap; pointer flips in nanoseconds
+            _seq, version = state
+            if version == 0:
+                return None
+            data_name = self._data_name(signature, version)
+            segment = self._attached.get(data_name)
+            if segment is None:
+                try:
+                    segment = _attach(data_name)
+                except FileNotFoundError:
+                    continue  # lost a race with the next swap; reread
+            try:
+                surface = decode(
+                    segment.buf, signature, expected_version=version
+                )
+            except SurfaceCodecError:
+                # Stale mapping for a name that was reused; detach, retry.
+                self._attached.pop(data_name, None)
+                _quiet_close(segment)
+                continue
+            self._attached[data_name] = segment
+            return surface
+        return None
+
+    def signatures_published(self) -> dict[str, int]:
+        """``{signature short hash: version}`` published by this arena."""
+        return dict(self._published)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def _drop_segment(self, name: str) -> None:
+        segment = self._attached.pop(name, None)
+        try:
+            if segment is None:
+                segment = _attach(name)
+            segment.unlink()
+        except FileNotFoundError:
+            return
+        _quiet_close(segment)
+
+    def close(self) -> None:
+        """Detach every segment (views handed out keep segments mapped)."""
+        for segment in self._attached.values():
+            _quiet_close(segment)
+        self._attached.clear()
+
+    def unlink_all(self) -> None:
+        """Unlink everything this arena published, then detach."""
+        for short, version in self._published.items():
+            self._drop_segment(f"{self.prefix}.{short}.v{version}")
+            self._drop_segment(f"{self.prefix}.{short}.ptr")
+        self._published.clear()
+        self.close()
+
+    def __enter__(self) -> "SurfaceArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink_all()
+
+    # -- post-crash janitor -------------------------------------------
+
+    @staticmethod
+    def purge(prefix: str = DEFAULT_PREFIX) -> list[str]:
+        """Remove every ``/dev/shm`` segment under ``prefix``.
+
+        The recovery path after a publisher is SIGKILLed: its forked
+        resource tracker may never have seen the segments, so they
+        would otherwise outlive every process.  Returns the names
+        removed.  Safe to call when nothing is leaked.
+        """
+        removed: list[str] = []
+        shm_dir = Path("/dev/shm")
+        if not shm_dir.is_dir():  # pragma: no cover - non-POSIX fallback
+            return removed
+        for path in sorted(shm_dir.glob(f"{prefix}.*")):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced another janitor
+                continue
+            try:
+                resource_tracker.unregister(
+                    f"/{path.name}", "shared_memory"
+                )
+            except Exception:
+                pass
+            removed.append(path.name)
+        return removed
+
+
+class LocalArena:
+    """In-process stand-in for :class:`SurfaceArena`.
+
+    Same publish/load/version surface, backed by a plain dict — used
+    when shared memory is unavailable (or pointless: a single-process
+    benchmark or unit test) so callers never need two code paths.
+    """
+
+    def __init__(self, prefix: str = DEFAULT_PREFIX) -> None:
+        self.prefix = prefix
+        self._surfaces: dict[bytes, Surface] = {}
+
+    def version(self, signature: SurfaceSignature) -> int | None:
+        surface = self._surfaces.get(signature.digest())
+        return surface.version if surface is not None else None
+
+    def publish(self, surface: Surface) -> int:
+        current = self.version(surface.signature) or 0
+        version = max(current, surface.version) + 1
+        published = Surface(
+            signature=surface.signature,
+            version=version,
+            bus_counts=surface.bus_counts,
+            rates=surface.rates,
+            values=surface.values,
+        )
+        self._surfaces[surface.signature.digest()] = published
+        return version
+
+    def load(self, signature: SurfaceSignature) -> Surface | None:
+        return self._surfaces.get(signature.digest())
+
+    def signatures_published(self) -> dict[str, int]:
+        return {
+            surface.signature.short(): surface.version
+            for surface in self._surfaces.values()
+        }
+
+    def close(self) -> None:
+        pass
+
+    def unlink_all(self) -> None:
+        self._surfaces.clear()
+
+    def __enter__(self) -> "LocalArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink_all()

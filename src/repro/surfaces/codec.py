@@ -1,0 +1,143 @@
+"""Binary surface layout: versioned header, axes, values, checksum.
+
+One encoded surface is a self-describing byte string::
+
+    offset  size  field
+    0       8     magic + format  (b"RSURF001")
+    8       32    SHA-256 of the signature's canonical JSON
+    40      8     version (uint64)
+    48      4     n_rates (uint32)
+    52      4     n_bus   (uint32)
+    56      8     dtype tag (b"<i8<f8\\0\\0": bus axis dtype, value dtype)
+    64      32    SHA-256 of the payload bytes
+    96      ...   payload: bus int64[n_bus] | rates f8[n_rates]
+                  | values f8[n_rates, n_bus]
+
+Data segments in the shared-memory arena are *write-once*: a writer
+fills the whole layout before any reader learns the segment's name, so
+the only consistency a reader must check is the header — magic, the
+expected signature digest and version, and (on first attach) the
+payload checksum.  :func:`decode` returns zero-copy read-only NumPy
+views over the given buffer; no bytes are duplicated on the read path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.surfaces.grid import Surface, SurfaceSignature
+
+__all__ = ["MAGIC", "HEADER_SIZE", "encode", "decode", "SurfaceCodecError"]
+
+MAGIC = b"RSURF001"
+_DTYPE_TAG = b"<i8<f8\x00\x00"
+_HEADER = struct.Struct("<8s32sQII8s32s")
+HEADER_SIZE = _HEADER.size  # 96 bytes
+
+
+class SurfaceCodecError(ConfigurationError):
+    """A surface buffer failed structural or checksum validation."""
+
+
+def encoded_size(n_rates: int, n_bus: int) -> int:
+    """Total byte size of an encoded ``(n_rates, n_bus)`` surface."""
+    return HEADER_SIZE + 8 * (n_bus + n_rates + n_rates * n_bus)
+
+
+def encode(surface: Surface) -> bytes:
+    """Serialize ``surface`` into the headered, checksummed layout."""
+    bus = np.ascontiguousarray(surface.bus_counts, dtype=np.int64)
+    rates = np.ascontiguousarray(surface.rates, dtype=np.float64)
+    values = np.ascontiguousarray(surface.values, dtype=np.float64)
+    if values.shape != (rates.size, bus.size):
+        raise SurfaceCodecError(
+            f"values shape {values.shape} does not match axes "
+            f"({rates.size}, {bus.size})"
+        )
+    payload = bus.tobytes() + rates.tobytes() + values.tobytes()
+    header = _HEADER.pack(
+        MAGIC,
+        surface.signature.digest(),
+        int(surface.version),
+        rates.size,
+        bus.size,
+        _DTYPE_TAG,
+        hashlib.sha256(payload).digest(),
+    )
+    return header + payload
+
+
+def decode(
+    buffer,
+    signature: SurfaceSignature,
+    expected_version: int | None = None,
+    verify_checksum: bool = True,
+) -> Surface:
+    """Deserialize a surface as zero-copy views over ``buffer``.
+
+    ``buffer`` is any object exposing the buffer protocol (typically a
+    :class:`multiprocessing.shared_memory.SharedMemory` ``.buf``).  The
+    header must carry the magic, ``signature``'s digest and — when given
+    — ``expected_version``; mismatches and checksum failures raise
+    :class:`SurfaceCodecError` rather than returning a torn or foreign
+    surface.
+    """
+    view = memoryview(buffer)
+    if len(view) < HEADER_SIZE:
+        raise SurfaceCodecError(
+            f"surface buffer of {len(view)} bytes is smaller than the "
+            f"{HEADER_SIZE}-byte header"
+        )
+    magic, sig_digest, version, n_rates, n_bus, dtype_tag, checksum = (
+        _HEADER.unpack_from(view, 0)
+    )
+    if magic != MAGIC:
+        raise SurfaceCodecError(
+            f"bad surface magic {magic!r} (expected {MAGIC!r})"
+        )
+    if dtype_tag != _DTYPE_TAG:
+        raise SurfaceCodecError(f"unsupported surface dtype tag {dtype_tag!r}")
+    if sig_digest != signature.digest():
+        raise SurfaceCodecError(
+            "surface signature digest mismatch: segment holds "
+            f"{sig_digest.hex()[:12]}, expected {signature.short()}"
+        )
+    if expected_version is not None and version != expected_version:
+        raise SurfaceCodecError(
+            f"surface version mismatch: segment holds v{version}, "
+            f"expected v{expected_version}"
+        )
+    total = encoded_size(n_rates, n_bus)
+    if len(view) < total:
+        raise SurfaceCodecError(
+            f"surface buffer truncated: {len(view)} bytes, layout "
+            f"needs {total}"
+        )
+    if verify_checksum:
+        actual = hashlib.sha256(view[HEADER_SIZE:total]).digest()
+        if actual != checksum:
+            raise SurfaceCodecError(
+                f"surface payload checksum mismatch for "
+                f"{signature.short()} v{version}"
+            )
+    offset = HEADER_SIZE
+    bus = np.frombuffer(view, dtype=np.int64, count=n_bus, offset=offset)
+    offset += 8 * n_bus
+    rates = np.frombuffer(view, dtype=np.float64, count=n_rates, offset=offset)
+    offset += 8 * n_rates
+    values = np.frombuffer(
+        view, dtype=np.float64, count=n_rates * n_bus, offset=offset
+    ).reshape(n_rates, n_bus)
+    for array in (bus, rates, values):
+        array.flags.writeable = False
+    return Surface(
+        signature=signature,
+        version=int(version),
+        bus_counts=bus,
+        rates=rates,
+        values=values,
+    )

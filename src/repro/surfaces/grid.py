@@ -1,0 +1,307 @@
+"""Dense bandwidth surfaces: the (B, r) plane of one model signature.
+
+The paper's closed forms make bandwidth a pure function of a tiny
+parameter grid: once ``(scheme, N, M, model)`` is fixed, every query the
+service will ever answer for that machine shape is a point on a 2-D
+``(bus count, request rate)`` surface.  This module gives that surface a
+concrete identity and a materializer:
+
+* :class:`SurfaceSignature` — the frozen key naming one surface: a
+  :class:`~repro.service.protocol.Query` with the ``(B, r)`` coordinates
+  stripped out.  Its SHA-256 :meth:`~SurfaceSignature.digest` is what the
+  shared-memory arena headers carry.
+* :func:`default_rate_grid` — the dyadic rate axis ``i / divisions``.
+  Dyadic rationals are exactly representable in binary floating point,
+  so the round rates real query mixes are dominated by (0.25, 0.5,
+  0.75, 1.0, ...) land *bitwise* on gridpoints.
+* :class:`Surface` — the materialized array: bus axis ``1..M`` on the
+  columns, the rate axis on the rows, ``NaN`` marking structurally
+  infeasible ``(scheme, B)`` cells (the paper tables' blank entries).
+* :func:`materialize_surface` — fills the array through
+  :func:`repro.analysis.batch.scheme_bus_profile` with models built by
+  the *service's own* :func:`~repro.service.protocol.build_model`, so a
+  gridpoint read back from the surface is bit-identical to what the
+  engine's batched tier would have computed for the same query.
+
+The bus axis is dense by construction — every feasible integer ``B`` is
+a gridpoint — so "bilinear" interpolation degenerates to linear
+interpolation along the rate axis; interpolating across bus counts
+would cross infeasible cells and is never done.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+
+import numpy as np
+
+from repro.analysis.batch import scheme_bus_profile
+from repro.exceptions import ConfigurationError
+from repro.service.protocol import Query, build_model
+
+__all__ = [
+    "SurfaceSignature",
+    "signature_of",
+    "query_for",
+    "default_rate_grid",
+    "Surface",
+    "materialize_surface",
+]
+
+#: Default rate-axis resolution: 129 gridpoints ``i / 128`` in [0, 1].
+DEFAULT_RATE_DIVISIONS = 128
+
+
+@dataclasses.dataclass(frozen=True)
+class SurfaceSignature:
+    """One surface's identity: a query minus its ``(B, r)`` coordinates.
+
+    Two queries share a surface exactly when they agree on everything
+    the request model and the topology family depend on — the same
+    grouping the engine's model cache and the micro-batcher use, minus
+    the rate (which became a surface axis).
+    """
+
+    scheme: str
+    n_processors: int
+    n_memories: int
+    model: str
+    clusters: int | None = None
+    fractions: tuple[float, ...] | None = None
+    network_kwargs: tuple[tuple[str, object], ...] = ()
+
+    def canonical(self) -> str:
+        """Deterministic JSON form — the hashed identity of the surface."""
+        return json.dumps(
+            {
+                "scheme": self.scheme,
+                "N": self.n_processors,
+                "M": self.n_memories,
+                "model": self.model,
+                "clusters": self.clusters,
+                "fractions": list(self.fractions)
+                if self.fractions is not None
+                else None,
+                "network_kwargs": [
+                    [name, list(value) if isinstance(value, tuple) else value]
+                    for name, value in self.network_kwargs
+                ],
+            },
+            sort_keys=True,
+        )
+
+    def digest(self) -> bytes:
+        """32-byte SHA-256 of :meth:`canonical` (stored in headers).
+
+        Memoized: the store hashes the signature on every lookup, and
+        the fields are frozen, so the digest can never change.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hashlib.sha256(self.canonical().encode()).digest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def short(self) -> str:
+        """12-hex-char digest prefix used in shared-memory segment names."""
+        return self.digest().hex()[:12]
+
+
+# Interned signatures: the store calls :func:`signature_of` on every
+# lookup, and returning the *same* instance for the same machine shape
+# lets the memoized digest carry across requests (the pool is bounded
+# by the number of distinct shapes a process ever sees).
+_INTERNED: dict[SurfaceSignature, SurfaceSignature] = {}
+
+
+def signature_of(query: Query) -> SurfaceSignature:
+    """The surface a query reads from (its ``B`` and ``r`` stripped)."""
+    signature = SurfaceSignature(
+        scheme=query.scheme,
+        n_processors=query.n_processors,
+        n_memories=query.n_memories,
+        model=query.model,
+        clusters=query.clusters,
+        fractions=query.fractions,
+        network_kwargs=query.network_kwargs,
+    )
+    return _INTERNED.setdefault(signature, signature)
+
+
+def query_for(
+    signature: SurfaceSignature, rate: float, n_buses: int = 1
+) -> Query:
+    """A normalized :class:`Query` back-projected from a signature.
+
+    Used by the materializer so the request model is built by the very
+    same :func:`~repro.service.protocol.build_model` call the engine
+    uses — identical inputs, identical floats, hence bit-identical
+    surface values.
+    """
+    return Query(
+        scheme=signature.scheme,
+        n_processors=signature.n_processors,
+        n_memories=signature.n_memories,
+        bus_counts=(int(n_buses),),
+        rate=float(rate),
+        model=signature.model,
+        clusters=signature.clusters,
+        fractions=signature.fractions,
+        network_kwargs=signature.network_kwargs,
+    )
+
+
+def default_rate_grid(divisions: int = DEFAULT_RATE_DIVISIONS) -> np.ndarray:
+    """The dyadic rate axis ``i / divisions`` for ``i = 0..divisions``.
+
+    >>> grid = default_rate_grid(4)
+    >>> [float(r) for r in grid]
+    [0.0, 0.25, 0.5, 0.75, 1.0]
+    """
+    if divisions < 1:
+        raise ConfigurationError(
+            f"rate grid needs >= 1 division, got {divisions}"
+        )
+    return np.arange(divisions + 1, dtype=np.float64) / float(divisions)
+
+
+@dataclasses.dataclass
+class Surface:
+    """One materialized bandwidth surface plus its published version.
+
+    ``values[i, j]`` is the bandwidth at ``rates[i]`` and
+    ``bus_counts[j]``; ``NaN`` marks structurally infeasible cells.
+    Arrays may be zero-copy views over a shared-memory segment — they
+    are flagged read-only either way.
+    """
+
+    signature: SurfaceSignature
+    version: int
+    bus_counts: np.ndarray
+    rates: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self._rate_index = {float(r): i for i, r in enumerate(self.rates)}
+        self._max_bus = int(self.bus_counts[-1]) if self.bus_counts.size else 0
+
+    def _column(self, n_buses: int) -> int | None:
+        if 1 <= n_buses <= self._max_bus:
+            return n_buses - 1
+        if self.signature.scheme == "crossbar" and n_buses >= 1:
+            # The crossbar has no bus bottleneck: every column is equal,
+            # so any positive B reads the first one.
+            return 0
+        return None
+
+    def exact(self, n_buses: int, rate: float) -> float | None:
+        """Bitwise gridpoint read; ``None`` off-grid or infeasible."""
+        row = self._rate_index.get(float(rate))
+        if row is None:
+            return None
+        column = self._column(int(n_buses))
+        if column is None:
+            return None
+        value = self.values[row, column]
+        if math.isnan(value):
+            return None
+        return float(value)
+
+    def interpolate(self, n_buses: int, rate: float) -> float | None:
+        """Linear interpolation along the rate axis at a feasible ``B``.
+
+        Returns ``None`` outside the rate axis' hull, at infeasible bus
+        counts, or when either bracketing gridpoint is infeasible.
+        Gridpoint rates return the stored value exactly (the blend
+        weight degenerates to 0), so interpolated serving never changes
+        an on-grid answer.
+        """
+        rate = float(rate)
+        if self.rates.size == 0:
+            return None
+        if rate < float(self.rates[0]) or rate > float(self.rates[-1]):
+            return None
+        column = self._column(int(n_buses))
+        if column is None:
+            return None
+        exact_row = self._rate_index.get(rate)
+        if exact_row is not None:
+            value = self.values[exact_row, column]
+            return None if math.isnan(value) else float(value)
+        hi = int(np.searchsorted(self.rates, rate))
+        lo = hi - 1
+        r_lo, r_hi = float(self.rates[lo]), float(self.rates[hi])
+        v_lo, v_hi = self.values[lo, column], self.values[hi, column]
+        if math.isnan(v_lo) or math.isnan(v_hi):
+            return None
+        weight = (rate - r_lo) / (r_hi - r_lo)
+        return float(v_lo + weight * (v_hi - v_lo))
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the surface arrays."""
+        return (
+            self.bus_counts.nbytes + self.rates.nbytes + self.values.nbytes
+        )
+
+
+def materialize_surface(
+    signature: SurfaceSignature,
+    rates: np.ndarray | None = None,
+    extra_rates: tuple[float, ...] = (),
+    version: int = 0,
+) -> Surface:
+    """Compute the full surface of ``signature`` through the batch engine.
+
+    ``rates`` defaults to :func:`default_rate_grid`; ``extra_rates``
+    (e.g. hot off-grid rates observed by the store) are merged in sorted
+    and deduplicated, which is how incremental refresh turns repeated
+    interpolation misses into exact hits.  Each rate row is one
+    :func:`~repro.analysis.batch.scheme_bus_profile` call over the full
+    ``1..M`` bus vector with a model from
+    :func:`~repro.service.protocol.build_model` — the identical code
+    path the serving tiers use, so gridpoint reads are bit-identical to
+    the engine's computed answers.
+    """
+    if rates is None:
+        rates = default_rate_grid()
+    merged = np.asarray(rates, dtype=np.float64)
+    if extra_rates:
+        extras = np.asarray(sorted(set(float(r) for r in extra_rates)))
+        if np.any(extras < 0.0) or np.any(extras > 1.0):
+            raise ConfigurationError(
+                "surface rates must lie in [0, 1], got "
+                f"{[float(r) for r in extras if not 0.0 <= r <= 1.0]}"
+            )
+        merged = np.unique(np.concatenate([merged, extras]))
+    bus_counts = np.arange(
+        1, signature.n_memories + 1, dtype=np.int64
+    )
+    values = np.full((merged.size, bus_counts.size), np.nan)
+    bus_list = [int(b) for b in bus_counts]
+    for row, rate in enumerate(merged):
+        query = query_for(signature, float(rate))
+        model = build_model(query)
+        profile = scheme_bus_profile(
+            signature.scheme,
+            signature.n_processors,
+            signature.n_memories,
+            bus_list,
+            model,
+            **dict(signature.network_kwargs),
+        )
+        for b, value in profile.values.items():
+            values[row, b - 1] = value
+    merged.flags.writeable = False
+    bus_counts.flags.writeable = False
+    values.flags.writeable = False
+    return Surface(
+        signature=signature,
+        version=int(version),
+        bus_counts=bus_counts,
+        rates=merged,
+        values=values,
+    )

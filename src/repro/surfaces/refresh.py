@@ -1,0 +1,133 @@
+"""Background surface refresher: hot signatures in, atomic swaps out.
+
+:class:`SurfaceRefresher` is an asyncio task living next to the serving
+loop.  Each cycle it drains the store's hot list
+(:meth:`~repro.surfaces.store.SurfaceStore.take_hot`) and materializes
+each signature in the default executor — materialization is seconds of
+NumPy work, far too heavy for the event loop, while the final publish is
+an O(surface bytes) copy plus one seqlock flip, so serving lookups never
+block on a refresh.
+
+Failure is graceful by contract: a materialization that exhausts its
+:class:`~repro.resilience.retry.RetryPolicy` increments
+``surfaces.refresh{status="error"}``, records an event, and *drops* the
+signature's hot entry — the serving path simply keeps answering from
+the engine's existing tiers (and re-detects the signature if traffic
+persists).  A refresher crash can therefore never take serving down
+with it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs.metrics import get_registry
+from repro.resilience.retry import RetryPolicy, retry_call
+from repro.surfaces.store import SurfaceStore
+
+__all__ = ["SurfaceRefresher"]
+
+
+class SurfaceRefresher:
+    """Detect hot signatures and (re)materialize their surfaces.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.surfaces.store.SurfaceStore` to watch and
+        publish through.
+    interval:
+        Seconds between hot-list scans.
+    retry_policy:
+        Applied around each materialization; the default retries twice
+        with a short deterministic backoff.
+    """
+
+    def __init__(
+        self,
+        store: SurfaceStore,
+        interval: float = 2.0,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        self.store = store
+        self.interval = float(interval)
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=2, backoff_seconds=0.05
+        )
+        self._task: asyncio.Task | None = None
+        self._wake = asyncio.Event()
+        self.cycles = 0
+
+    def start(self) -> None:
+        """Spawn the background task on the running loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="surface-refresher"
+            )
+
+    async def stop(self) -> None:
+        """Cancel the background task and wait for it to unwind."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+
+    def poke(self) -> None:
+        """Ask for an immediate scan instead of waiting out the interval."""
+        self._wake.set()
+
+    async def _run(self) -> None:
+        while True:
+            try:
+                await asyncio.wait_for(
+                    self._wake.wait(), timeout=self.interval
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._wake.clear()
+            await self.refresh_once()
+
+    async def refresh_once(self) -> int:
+        """One scan: materialize every hot signature off-loop.
+
+        Returns the number of surfaces successfully published.  Never
+        raises — each failure is counted, logged and skipped so the
+        serving loop's tiers keep answering.
+        """
+        registry = get_registry()
+        loop = asyncio.get_running_loop()
+        published = 0
+        for signature, rates in self.store.take_hot():
+            try:
+                version = await loop.run_in_executor(
+                    None,
+                    lambda sig=signature, extra=rates: retry_call(
+                        self.store.materialize,
+                        sig,
+                        extra,
+                        policy=self.retry_policy,
+                        token=f"surface-refresh:{sig.short()}",
+                    ),
+                )
+            except Exception as exc:
+                registry.increment("surfaces.refresh", status="error")
+                registry.record_event(
+                    "surfaces.refresh_failed",
+                    signature=signature.short(),
+                    error=repr(exc),
+                )
+                continue
+            published += 1
+            registry.increment("surfaces.refresh", status="ok")
+            registry.record_event(
+                "surfaces.refreshed",
+                signature=signature.short(),
+                version=version,
+                extra_rates=len(rates),
+            )
+        self.cycles += 1
+        return published

@@ -1,0 +1,333 @@
+"""The surface store: lookups, hot-signature detection, materialization.
+
+:class:`SurfaceStore` is the process-local face of the arena.  The
+serving side calls :meth:`~SurfaceStore.lookup` per query — an exact
+gridpoint read, an optional rate interpolation, or a miss that falls
+through to the engine's existing tiers.  Every miss (and every
+interpolated answer, whose off-grid rate is a refinement candidate) is
+tallied per signature; once a signature crosses ``hot_threshold`` the
+background refresher drains it via :meth:`~SurfaceStore.take_hot` and
+(re)materializes the surface with the observed rates merged into the
+grid, turning yesterday's interpolations into today's exact hits.
+
+Sweep workers attach to a *service's* arena through the
+``REPRO_SURFACES_PREFIX`` environment variable
+(:func:`sweep_analytic_from_env`): when a pooled Monte-Carlo cell's
+parameters map onto a published surface, its ``analytic`` reference
+value is a shared-memory read instead of a recomputation — batch and
+service paths then share one cache identity.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import get_registry
+from repro.service.protocol import Query
+from repro.surfaces.arena import LocalArena, SurfaceArena
+from repro.surfaces.grid import (
+    DEFAULT_RATE_DIVISIONS,
+    Surface,
+    SurfaceSignature,
+    default_rate_grid,
+    materialize_surface,
+    signature_of,
+)
+
+__all__ = [
+    "SurfaceStore",
+    "ENV_PREFIX",
+    "sweep_cell_signature",
+    "sweep_analytic_from_env",
+]
+
+#: Environment variable advertising a service arena to sweep workers.
+ENV_PREFIX = "REPRO_SURFACES_PREFIX"
+
+#: ``paper_model_pair`` model names mapped to service hierarchy params.
+_SWEEP_MODEL_PARAMS = {
+    "unif": (None, None),
+    "hier": (4, (0.6, 0.3, 0.1)),
+}
+
+
+class SurfaceStore:
+    """Serve, track and materialize bandwidth surfaces over one arena.
+
+    Parameters
+    ----------
+    arena:
+        A :class:`~repro.surfaces.arena.SurfaceArena` (shared memory) or
+        :class:`~repro.surfaces.arena.LocalArena` (in-process).  Defaults
+        to a fresh shared-memory arena under the default prefix.
+    interpolate:
+        Serve off-grid rates by linear interpolation along the rate
+        axis.  Exact gridpoint hits are unaffected either way.
+    rate_divisions:
+        Resolution of the base dyadic rate grid for surfaces this store
+        materializes.
+    hot_threshold:
+        Misses (plus interpolated serves) a signature accumulates before
+        :meth:`take_hot` hands it to the refresher.
+    max_hot_rates:
+        Cap on off-grid rates remembered per signature between
+        refreshes.
+    """
+
+    def __init__(
+        self,
+        arena: SurfaceArena | LocalArena | None = None,
+        interpolate: bool = True,
+        rate_divisions: int = DEFAULT_RATE_DIVISIONS,
+        hot_threshold: int = 16,
+        max_hot_rates: int = 64,
+    ) -> None:
+        self.arena = arena if arena is not None else SurfaceArena()
+        self.interpolate = bool(interpolate)
+        self.hot_threshold = int(hot_threshold)
+        self._max_hot_rates = int(max_hot_rates)
+        self._base_rates = default_rate_grid(rate_divisions)
+        self._signatures: dict[bytes, SurfaceSignature] = {}
+        self._attached: dict[bytes, Surface] = {}
+        self._miss_counts: dict[bytes, int] = {}
+        self._pending_rates: dict[bytes, set[float]] = {}
+        # Rates already merged into a published surface — kept so a
+        # later refresh never *drops* a refinement it served before.
+        self._merged_rates: dict[bytes, set[float]] = {}
+
+    # -- serving ------------------------------------------------------
+
+    def lookup(self, query: Query) -> tuple[float | None, str]:
+        """Answer a single-cell query from its surface, if possible.
+
+        Returns ``(value, kind)`` with ``kind`` one of ``"exact"``
+        (bit-identical gridpoint read), ``"interpolated"``, or a miss
+        reason (``"sweep"``, ``"unpublished"``, ``"off_surface"``) with
+        ``value=None``.  Misses and interpolations feed hot-signature
+        detection.
+        """
+        if query.is_sweep:
+            return None, "sweep"
+        registry = get_registry()
+        signature = signature_of(query)
+        surface = self.surface_for(signature)
+        if surface is None:
+            self._note(signature, query.rate)
+            registry.increment("surfaces.lookups", result="unpublished")
+            return None, "unpublished"
+        n_buses = query.bus_counts[0]
+        value = surface.exact(n_buses, query.rate)
+        if value is not None:
+            registry.increment("surfaces.lookups", result="exact")
+            return value, "exact"
+        if self.interpolate:
+            value = surface.interpolate(n_buses, query.rate)
+            if value is not None:
+                # Served, but off-grid: remember the rate so a refresh
+                # can promote it to an exact gridpoint.
+                self._note(signature, query.rate)
+                registry.increment("surfaces.lookups", result="interpolated")
+                return value, "interpolated"
+        self._note(signature, query.rate)
+        registry.increment("surfaces.lookups", result="miss")
+        return None, "off_surface"
+
+    def surface_for(self, signature: SurfaceSignature) -> Surface | None:
+        """The current version of a signature's surface, or ``None``.
+
+        Re-attaches when the arena's published version moved past the
+        cached attachment, so a completed swap is never served stale.
+        """
+        digest = signature.digest()
+        self._signatures.setdefault(digest, signature)
+        published = self.arena.version(signature)
+        if published is None:
+            self._attached.pop(digest, None)
+            return None
+        cached = self._attached.get(digest)
+        if cached is not None and cached.version == published:
+            return cached
+        surface = self.arena.load(signature)
+        if surface is not None:
+            if cached is not None:
+                get_registry().increment("surfaces.reattached")
+            self._attached[digest] = surface
+        return surface
+
+    # -- hot-signature tracking ---------------------------------------
+
+    def _note(self, signature: SurfaceSignature, rate: float) -> None:
+        digest = signature.digest()
+        count = self._miss_counts.get(digest, 0) + 1
+        self._miss_counts[digest] = count
+        pending = self._pending_rates.setdefault(digest, set())
+        if len(pending) < self._max_hot_rates:
+            pending.add(float(rate))
+        if count == self.hot_threshold:
+            get_registry().increment("surfaces.hot_detected")
+
+    def take_hot(self) -> list[tuple[SurfaceSignature, tuple[float, ...]]]:
+        """Drain signatures whose miss tally crossed the threshold.
+
+        Returns ``(signature, observed_rates)`` pairs and resets their
+        tallies; the refresher materializes each with the rates merged
+        into the grid.
+        """
+        hot: list[tuple[SurfaceSignature, tuple[float, ...]]] = []
+        for digest, count in list(self._miss_counts.items()):
+            if count < self.hot_threshold:
+                continue
+            signature = self._signatures[digest]
+            rates = tuple(sorted(self._pending_rates.get(digest, ())))
+            hot.append((signature, rates))
+            self._miss_counts[digest] = 0
+            self._pending_rates.pop(digest, None)
+        return hot
+
+    def pressure(self) -> dict[str, int]:
+        """Current per-signature miss tallies (for tests/introspection)."""
+        return {
+            self._signatures[digest].short(): count
+            for digest, count in self._miss_counts.items()
+            if count
+        }
+
+    # -- materialization ----------------------------------------------
+
+    def materialize(
+        self,
+        signature: SurfaceSignature,
+        extra_rates: tuple[float, ...] = (),
+    ) -> int:
+        """(Re)compute and publish a signature's surface; returns version.
+
+        ``extra_rates`` accumulate across calls — a refresh merges every
+        off-grid rate ever promoted for this signature, so refinements
+        are monotone.
+        """
+        registry = get_registry()
+        digest = signature.digest()
+        self._signatures.setdefault(digest, signature)
+        merged = self._merged_rates.setdefault(digest, set())
+        merged.update(float(r) for r in extra_rates)
+        with registry.time_block(
+            "surfaces.materialize_seconds", scheme=signature.scheme
+        ):
+            surface = materialize_surface(
+                signature,
+                rates=self._base_rates,
+                extra_rates=tuple(sorted(merged)),
+            )
+        version = self.arena.publish(surface)
+        registry.increment("surfaces.materialized", scheme=signature.scheme)
+        if version > 1:
+            registry.increment("surfaces.swaps")
+        registry.set_gauge(
+            "surfaces.published", len(self.arena.signatures_published())
+        )
+        registry.set_gauge(
+            "surfaces.bytes",
+            float(surface.nbytes),
+            signature=signature.short(),
+        )
+        loaded = self.arena.load(signature)
+        if loaded is not None:
+            self._attached[digest] = loaded
+        return version
+
+    def warm(self, queries) -> dict[str, int]:
+        """Materialize surfaces for queries/signatures not yet published.
+
+        Returns ``{signature short hash: version}`` for the surfaces
+        built by this call.
+        """
+        built: dict[str, int] = {}
+        for item in queries:
+            signature = (
+                item
+                if isinstance(item, SurfaceSignature)
+                else signature_of(item)
+            )
+            if self.arena.version(signature) is None:
+                built[signature.short()] = self.materialize(signature)
+        return built
+
+    # -- lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the arena (published segments stay)."""
+        self._attached.clear()
+        self.arena.close()
+
+    def unlink_all(self) -> None:
+        """Tear down everything this store's arena published."""
+        self._attached.clear()
+        self.arena.unlink_all()
+
+
+# ---------------------------------------------------------------------------
+# Sweep-worker attachment: batch and service share one cache identity
+# ---------------------------------------------------------------------------
+
+_env_store: SurfaceStore | None = None
+
+
+def _normalized_network_kwargs(
+    network_kwargs: dict,
+) -> tuple[tuple[str, object], ...]:
+    return tuple(
+        (name, tuple(value) if isinstance(value, list) else value)
+        for name, value in sorted(network_kwargs.items())
+    )
+
+
+def sweep_cell_signature(spec: dict) -> SurfaceSignature | None:
+    """Map a sweep cell spec onto a service surface signature.
+
+    Only cells built from :func:`repro.analysis.sweep.paper_model_pair`
+    are mappable — its ``hier``/``unif`` models are constructed with
+    exactly the service's default hierarchy parameters, which is what
+    makes the shared surface bit-faithful.  Returns ``None`` for custom
+    model factories.
+    """
+    if spec.get("model_factory_name") != "paper_model_pair":
+        return None
+    params = _SWEEP_MODEL_PARAMS.get(spec.get("model_name"))
+    if params is None:
+        return None
+    clusters, fractions = params
+    return SurfaceSignature(
+        scheme=spec["scheme"],
+        n_processors=spec["N"],
+        n_memories=spec["M"],
+        model=spec["model_name"],
+        clusters=clusters,
+        fractions=fractions,
+        network_kwargs=_normalized_network_kwargs(spec["network_kwargs"]),
+    )
+
+
+def sweep_analytic_from_env(spec: dict) -> float | None:
+    """Exact surface value for a sweep cell via the advertised arena.
+
+    Reads ``REPRO_SURFACES_PREFIX``; returns ``None`` (compute locally)
+    when unset, when the cell's model factory is not mappable, when
+    nothing is published for the signature, or when ``(B, r)`` is not an
+    exact gridpoint — interpolation is never used here, because sweep
+    records are reference values.
+    """
+    prefix = os.environ.get(ENV_PREFIX)
+    if not prefix:
+        return None
+    signature = sweep_cell_signature(spec)
+    if signature is None:
+        return None
+    global _env_store
+    if _env_store is None or _env_store.arena.prefix != prefix:
+        _env_store = SurfaceStore(
+            arena=SurfaceArena(prefix=prefix), interpolate=False
+        )
+    surface = _env_store.surface_for(signature)
+    if surface is None:
+        return None
+    return surface.exact(spec["B"], spec["r"])

@@ -1,0 +1,201 @@
+"""Engine tier zero: surface serving ahead of the LRU and coalescing.
+
+A :class:`~repro.surfaces.store.SurfaceStore` handed to
+:class:`~repro.service.engine.QueryEngine` is consulted before every
+other tier; these tests pin the source labels, the fall-through order
+on misses, the ``service.surfaces.*`` accounting, and the end-to-end
+hot-detect → background-refresh → surface-served loop.  An engine built
+without a store must behave exactly as before surfaces existed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import telemetry
+from repro.service import QueryEngine
+from repro.service.protocol import parse_query
+from repro.surfaces import (
+    LocalArena,
+    SurfaceRefresher,
+    SurfaceStore,
+    signature_of,
+)
+
+
+def _cell(b, r=0.5, scheme="full", n=8, **extra):
+    return parse_query(
+        {"scheme": scheme, "N": n, "M": n, "B": b, "r": r, **extra}
+    )
+
+
+def _warm_store(**kwargs):
+    store = SurfaceStore(arena=LocalArena(), **kwargs)
+    store.materialize(signature_of(_cell(1)))
+    return store
+
+
+def test_exact_hit_is_served_as_surface_before_the_lru():
+    engine = QueryEngine(surfaces=_warm_store())
+
+    async def main():
+        first = await engine.execute(_cell(3))
+        again = await engine.execute(_cell(3))
+        return first, again
+
+    first, again = asyncio.run(main())
+    engine.close()
+    # Both land on the surface: the LRU never even sees the query.
+    assert first.source == "surface"
+    assert again.source == "surface"
+    assert again.value == first.value
+
+
+def test_off_grid_hit_is_labelled_surface_interp():
+    engine = QueryEngine(surfaces=_warm_store())
+
+    async def main():
+        return await engine.execute(_cell(3, r=0.47))
+
+    response = asyncio.run(main())
+    engine.close()
+    assert response.source == "surface_interp"
+
+
+def test_miss_falls_through_to_compute_then_cache():
+    # Store knows the N=8 "full" surface only; an N=16 query must take
+    # the pre-surfaces path unchanged.
+    engine = QueryEngine(surfaces=_warm_store())
+
+    async def main():
+        cold = await engine.execute(_cell(3, n=16))
+        warm = await engine.execute(_cell(3, n=16))
+        return cold, warm
+
+    cold, warm = asyncio.run(main())
+    engine.close()
+    assert cold.source == "computed"
+    assert warm.source == "cache"
+    assert warm.value == cold.value
+
+
+def test_sweeps_bypass_the_surface_tier():
+    engine = QueryEngine(surfaces=_warm_store())
+    payload = {"scheme": "full", "N": 8, "M": 8, "B": [1, 2, 3], "r": 0.5}
+
+    async def main():
+        return await engine.execute_payload(payload, sweep=True)
+
+    response = asyncio.run(main())
+    engine.close()
+    assert response.source == "computed"
+    assert set(response.values) == {1, 2, 3}
+
+
+def test_surface_hit_and_miss_counters():
+    engine = QueryEngine(surfaces=_warm_store(interpolate=True))
+
+    async def main():
+        with telemetry() as registry:
+            await engine.execute(_cell(3))  # exact hit
+            await engine.execute(_cell(3, r=0.47))  # interpolated hit
+            await engine.execute(_cell(3, n=16))  # unpublished miss
+            hits = {
+                dict(labels)["kind"]: value
+                for (name, labels), value in registry.counters().items()
+                if name == "service.surfaces.hits"
+            }
+            misses = {
+                dict(labels)["kind"]: value
+                for (name, labels), value in registry.counters().items()
+                if name == "service.surfaces.misses"
+            }
+        return hits, misses
+
+    hits, misses = asyncio.run(main())
+    engine.close()
+    assert hits == {"exact": 1, "interpolated": 1}
+    assert misses == {"unpublished": 1}
+
+
+def test_engine_without_store_has_no_surface_sources():
+    engine = QueryEngine()
+
+    async def main():
+        with telemetry() as registry:
+            response = await engine.execute(_cell(3))
+            names = {name for (name, _), _ in registry.counters().items()}
+        return response, names
+
+    response, names = asyncio.run(main())
+    engine.close()
+    assert response.source == "computed"
+    assert not any(name.startswith("service.surfaces") for name in names)
+
+
+def test_hot_queries_get_surfaced_by_the_refresher():
+    # Empty store, aggressive threshold: repeated traffic on one
+    # signature must flip it from computed to surface-served after one
+    # background refresh cycle, without any explicit materialize call.
+    store = SurfaceStore(arena=LocalArena(), hot_threshold=2)
+    engine = QueryEngine(surfaces=store)
+    refresher = SurfaceRefresher(store, interval=60.0)
+
+    async def main():
+        before = [await engine.execute(_cell(3)) for _ in range(2)]
+        published = await refresher.refresh_once()
+        after = await engine.execute(_cell(3))
+        return before, published, after
+
+    before, published, after = asyncio.run(main())
+    engine.close()
+    assert [r.source for r in before] == ["computed", "cache"]
+    assert published == 1
+    assert after.source == "surface"
+    assert after.value == before[0].value  # bitwise: same kernels filled it
+
+
+def test_surface_values_match_the_computed_path_bitwise():
+    store = _warm_store()
+    surfaced = QueryEngine(surfaces=store)
+    plain = QueryEngine()
+
+    async def main():
+        results = []
+        for b in (1, 2, 3, 5, 8):
+            via_surface = await surfaced.execute(_cell(b))
+            via_compute = await plain.execute(_cell(b))
+            results.append((via_surface, via_compute))
+        return results
+
+    results = asyncio.run(main())
+    surfaced.close()
+    plain.close()
+    for via_surface, via_compute in results:
+        assert via_surface.source == "surface"
+        assert via_compute.source == "computed"
+        assert via_surface.value == via_compute.value  # bitwise
+
+
+def test_infeasible_cell_falls_through_to_the_engines_error():
+    # partial with g=2 grouping: odd B is infeasible.  The surface
+    # holds NaN there, so the store misses ("off_surface") and the
+    # compute tier must raise exactly as it does without surfaces.
+    store = SurfaceStore(arena=LocalArena())
+    store.materialize(
+        signature_of(_cell(2, scheme="partial", n_groups=2))
+    )
+    engine = QueryEngine(surfaces=store)
+
+    async def main():
+        good = await engine.execute(_cell(2, scheme="partial", n_groups=2))
+        with pytest.raises(ConfigurationError, match="must divide"):
+            await engine.execute(_cell(3, scheme="partial", n_groups=2))
+        return good
+
+    good = asyncio.run(main())
+    engine.close()
+    assert good.source == "surface"

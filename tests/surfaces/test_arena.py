@@ -1,0 +1,143 @@
+"""Arena tests: publish/load, atomic swap, teardown, crash janitor."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import parse_query
+from repro.surfaces import (
+    LocalArena,
+    SurfaceArena,
+    materialize_surface,
+    signature_of,
+)
+
+SHM = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM.is_dir(), reason="POSIX shared memory not available"
+)
+
+
+def _segments(prefix):
+    return sorted(p.name for p in SHM.glob(f"{prefix}.*"))
+
+
+@pytest.fixture
+def query():
+    return parse_query({"scheme": "full", "N": 8, "M": 8, "B": 3, "r": 0.5})
+
+
+@pytest.fixture
+def surface(query):
+    return materialize_surface(signature_of(query))
+
+
+@pytest.fixture
+def prefix(tmp_path):
+    # tmp_path's basename is unique per test, which keeps concurrent
+    # pytest-xdist-style runs from colliding in the global /dev/shm.
+    name = f"repro-test-{tmp_path.name.lower()}"
+    yield name
+    SurfaceArena.purge(name)
+
+
+class TestPublishLoad:
+    def test_roundtrip_bit_identical(self, prefix, query, surface):
+        sig = signature_of(query)
+        with SurfaceArena(prefix=prefix) as arena:
+            version = arena.publish(surface)
+            assert version == 1
+            assert arena.version(sig) == 1
+            loaded = arena.load(sig)
+            assert loaded.version == 1
+            assert np.array_equal(
+                loaded.values, surface.values, equal_nan=True
+            )
+            assert loaded.exact(3, 0.5) == surface.exact(3, 0.5)
+
+    def test_load_unpublished_returns_none(self, prefix, query):
+        with SurfaceArena(prefix=prefix) as arena:
+            assert arena.load(signature_of(query)) is None
+            assert arena.version(signature_of(query)) is None
+
+    def test_loaded_views_are_zero_copy_read_only(
+        self, prefix, query, surface
+    ):
+        with SurfaceArena(prefix=prefix) as arena:
+            arena.publish(surface)
+            loaded = arena.load(signature_of(query))
+            assert not loaded.values.flags.owndata
+            assert not loaded.values.flags.writeable
+
+    def test_second_arena_instance_attaches(self, prefix, query, surface):
+        sig = signature_of(query)
+        with SurfaceArena(prefix=prefix) as writer:
+            writer.publish(surface)
+            reader = SurfaceArena(prefix=prefix)
+            loaded = reader.load(sig)
+            assert loaded is not None
+            assert loaded.exact(3, 0.5) == surface.exact(3, 0.5)
+            reader.close()
+
+
+class TestAtomicSwap:
+    def test_publish_bumps_version_and_drops_old_segment(
+        self, prefix, query, surface
+    ):
+        sig = signature_of(query)
+        with SurfaceArena(prefix=prefix) as arena:
+            arena.publish(surface)
+            old = arena.load(sig)
+            assert arena.publish(surface) == 2
+            assert arena.version(sig) == 2
+            assert arena.load(sig).version == 2
+            # the superseded data segment is gone from the namespace ...
+            assert f"{prefix}.{sig.short()}.v1" not in _segments(prefix)
+            # ... yet the old reader's mapping stays valid (POSIX keeps
+            # pages until the last close)
+            assert old.exact(3, 0.5) == surface.exact(3, 0.5)
+
+    def test_reader_never_sees_regression(self, prefix, query, surface):
+        sig = signature_of(query)
+        with SurfaceArena(prefix=prefix) as writer:
+            reader = SurfaceArena(prefix=prefix)
+            seen = 0
+            for _ in range(5):
+                writer.publish(surface)
+                loaded = reader.load(sig)
+                assert loaded.version > seen
+                seen = loaded.version
+            reader.close()
+
+
+class TestTeardown:
+    def test_unlink_all_leaves_no_segments(self, prefix, query, surface):
+        arena = SurfaceArena(prefix=prefix)
+        arena.publish(surface)
+        assert _segments(prefix)
+        arena.unlink_all()
+        assert _segments(prefix) == []
+
+    def test_purge_removes_leaked_segments(self, prefix, query, surface):
+        arena = SurfaceArena(prefix=prefix)
+        arena.publish(surface)
+        arena.close()  # detach WITHOUT unlinking: simulated crash leak
+        assert _segments(prefix)
+        removed = SurfaceArena.purge(prefix)
+        assert removed
+        assert _segments(prefix) == []
+        assert SurfaceArena.purge(prefix) == []  # idempotent
+
+
+class TestLocalArena:
+    def test_same_protocol_without_shared_memory(self, query, surface):
+        sig = signature_of(query)
+        with LocalArena() as arena:
+            assert arena.load(sig) is None
+            assert arena.publish(surface) == 1
+            assert arena.publish(surface) == 2
+            assert arena.version(sig) == 2
+            assert arena.load(sig).exact(3, 0.5) == surface.exact(3, 0.5)
+            assert list(arena.signatures_published().values()) == [2]

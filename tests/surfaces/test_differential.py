@@ -1,0 +1,228 @@
+"""Differential acceptance: surfaces never change an on-grid bit.
+
+A seeded generator builds a randomized universe of single-cell queries
+across all five schemes, both request models and a spread of machine
+shapes — the same recipe as ``tests/service/test_differential.py`` —
+and materializes the surface of every distinct model signature into a
+:class:`~repro.surfaces.arena.LocalArena`-backed store.  Every on-grid
+query must then come back from the surface fast path **bit-identical**
+(``==``, no tolerance) to a direct
+:func:`repro.analysis.batch.scheme_bus_profile` call with a freshly
+built model: the surfaces were filled by that very function, so
+serving them can only move bytes, never floats.
+
+Off-grid rates are served by linear interpolation along the dyadic rate
+axis and pinned within the **stated tolerance of 2e-3** — the measured
+worst case for ``N <= 16`` machines on the default 1/128 grid is
+~1.03e-3 (curvature-limited: the error of linear interpolation is
+bounded by ``h^2/8 * max|d2BW/dr2|``), and interpolated values must
+also stay inside their bracketing gridpoint values since every
+bandwidth curve is monotone in ``r``.
+
+The suite counts its comparisons and requires at least 200.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch import scheme_bus_profile
+from repro.service import QueryEngine
+from repro.service.protocol import Query, build_model, parse_query
+from repro.surfaces import LocalArena, SurfaceStore, signature_of
+
+SEED = 20260807
+
+#: Documented interpolation envelope for N <= 16 on the default grid.
+INTERP_TOL = 2e-3
+
+ON_GRID_RATES = (0.25, 0.5, 0.75, 1.0)  # dyadic: bitwise gridpoints
+OFF_GRID_RATES = (0.137, 0.333, 0.47, 0.619, 0.888, 0.991)
+
+
+def _random_payloads(count: int, rates) -> list[dict]:
+    """A reproducible mixed-scheme single-cell query universe."""
+    rng = random.Random(SEED)
+    payloads = []
+    while len(payloads) < count:
+        scheme = rng.choice(["full", "single", "partial", "kclass",
+                             "crossbar"])
+        n = rng.choice([4, 8, 16])
+        payload = {"scheme": scheme, "N": n, "M": n,
+                   "r": rng.choice(rates)}
+        if n >= 8 and rng.random() < 0.4:
+            payload["model"] = "hier"
+            payload["hierarchy"] = {"clusters": rng.choice([2, 4])}
+        if scheme == "partial":
+            groups = rng.choice([2, 4])
+            payload["n_groups"] = groups
+            payload["B"] = groups * rng.randint(1, max(1, n // groups))
+        else:
+            payload["B"] = rng.randint(1, n)
+            if scheme == "kclass":
+                split = rng.randint(1, n - 1)
+                payload["class_sizes"] = [split, n - split]
+        payloads.append(payload)
+    return payloads
+
+
+def _truth(query: Query) -> dict[int, float]:
+    """Ground truth from a direct grid call with a fresh model."""
+    profile = scheme_bus_profile(
+        query.scheme,
+        query.n_processors,
+        query.n_memories,
+        list(query.bus_counts),
+        build_model(query),
+        **dict(query.network_kwargs),
+    )
+    return profile.values
+
+
+def _universe(rates):
+    queries, expected = [], {}
+    for payload in _random_payloads(90, rates):
+        query = parse_query(payload)
+        if query in expected:
+            continue
+        expected[query] = _truth(query)
+        queries.append(query)
+    return queries, expected
+
+
+@pytest.fixture(scope="module")
+def store():
+    """One store with every signature of both universes materialized."""
+    store = SurfaceStore(arena=LocalArena())
+    signatures = set()
+    for rates in (ON_GRID_RATES, OFF_GRID_RATES):
+        for query in _universe(rates)[0]:
+            signatures.add(signature_of(query))
+    for signature in sorted(signatures, key=lambda s: s.short()):
+        store.materialize(signature)
+    return store
+
+
+@pytest.fixture(scope="module")
+def on_grid():
+    return _universe(ON_GRID_RATES)
+
+
+@pytest.fixture(scope="module")
+def off_grid():
+    return _universe(OFF_GRID_RATES)
+
+
+def test_on_grid_store_lookups_are_bit_identical(store, on_grid):
+    queries, expected = on_grid
+    comparisons = 0
+    schemes = set()
+    for query in queries:
+        b = query.bus_counts[0]
+        value, kind = store.lookup(query)
+        if b not in expected[query]:
+            assert value is None  # infeasible cells never served
+            continue
+        assert kind == "exact"
+        assert value == expected[query][b]  # bitwise
+        comparisons += 1
+        schemes.add(query.scheme)
+    assert comparisons >= 60
+    assert schemes == {"full", "single", "partial", "kclass", "crossbar"}
+
+
+def test_on_grid_engine_fast_path_is_bit_identical(store, on_grid):
+    queries, expected = on_grid
+    engine = QueryEngine(surfaces=store)
+    comparisons = 0
+
+    async def main():
+        nonlocal comparisons
+        for query in queries:
+            b = query.bus_counts[0]
+            if b not in expected[query]:
+                continue
+            response = await engine.execute(query)
+            assert response.source == "surface"
+            assert response.values[b] == expected[query][b]  # bitwise
+            comparisons += 1
+
+    asyncio.run(main())
+    engine.close()
+    assert comparisons >= 60
+
+
+def test_off_grid_interpolation_within_stated_tolerance(store, off_grid):
+    queries, expected = off_grid
+    comparisons = 0
+    for query in queries:
+        b = query.bus_counts[0]
+        value, kind = store.lookup(query)
+        if b not in expected[query]:
+            assert value is None
+            continue
+        assert kind == "interpolated"
+        truth = expected[query][b]
+        assert value == pytest.approx(truth, abs=INTERP_TOL)
+        comparisons += 1
+    assert comparisons >= 60
+
+
+def test_off_grid_engine_path_within_stated_tolerance(store, off_grid):
+    queries, expected = off_grid
+    engine = QueryEngine(surfaces=store)
+    comparisons = 0
+
+    async def main():
+        nonlocal comparisons
+        for query in queries:
+            b = query.bus_counts[0]
+            if b not in expected[query]:
+                continue
+            response = await engine.execute(query)
+            assert response.source == "surface_interp"
+            assert response.values[b] == pytest.approx(
+                expected[query][b], abs=INTERP_TOL
+            )
+            comparisons += 1
+
+    asyncio.run(main())
+    engine.close()
+    assert comparisons >= 60
+
+
+def test_interpolation_stays_inside_its_bracket(store, off_grid):
+    """Monotone curves: the blend can never leave [v_lo, v_hi]."""
+    queries, expected = off_grid
+    checked = 0
+    for query in queries:
+        b = query.bus_counts[0]
+        if b not in expected[query]:
+            continue
+        surface = store.surface_for(signature_of(query))
+        hi = int(np.searchsorted(surface.rates, query.rate))
+        lo_v = surface.exact(b, float(surface.rates[hi - 1]))
+        hi_v = surface.exact(b, float(surface.rates[hi]))
+        if lo_v is None or hi_v is None:
+            continue
+        value, _ = store.lookup(query)
+        assert min(lo_v, hi_v) <= value <= max(lo_v, hi_v)
+        checked += 1
+    assert checked >= 50
+
+
+def test_total_differential_coverage_exceeds_two_hundred(
+    store, on_grid, off_grid
+):
+    feasible_on = sum(
+        1 for q in on_grid[0] if q.bus_counts[0] in on_grid[1][q]
+    )
+    feasible_off = sum(
+        1 for q in off_grid[0] if q.bus_counts[0] in off_grid[1][q]
+    )
+    # store + engine passes over each universe, plus the bracket check
+    assert 2 * feasible_on + 3 * feasible_off >= 200

@@ -1,0 +1,178 @@
+"""Unit tests of surface identity, the rate grid, and materialization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch import scheme_bus_profile
+from repro.exceptions import ConfigurationError
+from repro.service.protocol import build_model, parse_query
+from repro.surfaces import (
+    Surface,
+    SurfaceSignature,
+    default_rate_grid,
+    materialize_surface,
+    query_for,
+    signature_of,
+)
+
+
+def _query(**overrides):
+    payload = {"scheme": "full", "N": 8, "M": 8, "B": 3, "r": 0.5}
+    payload.update(overrides)
+    return parse_query(payload)
+
+
+class TestSignature:
+    def test_signature_strips_bus_and_rate(self):
+        a = signature_of(_query(B=1, r=0.25))
+        b = signature_of(_query(B=7, r=1.0))
+        assert a == b
+        assert a.digest() == b.digest()
+
+    def test_signature_distinguishes_everything_else(self):
+        base = signature_of(_query())
+        assert signature_of(_query(scheme="single")) != base
+        assert signature_of(_query(N=16, M=16)) != base
+        hier = signature_of(
+            _query(model="hier", hierarchy={"clusters": 4})
+        )
+        assert hier != base
+        assert hier.clusters == 4
+        assert hier.fractions == (0.6, 0.3, 0.1)
+
+    def test_digest_is_stable_and_short_prefixes_it(self):
+        sig = signature_of(_query())
+        assert sig.digest() == sig.digest()
+        assert len(sig.digest()) == 32
+        assert sig.short() == sig.digest().hex()[:12]
+
+    def test_network_kwargs_participate_in_identity(self):
+        two = signature_of(_query(scheme="partial", B=2, n_groups=2))
+        four = signature_of(_query(scheme="partial", B=4, n_groups=4))
+        assert two != four
+        assert "n_groups" in two.canonical()
+
+    def test_query_for_round_trips_through_build_model(self):
+        sig = signature_of(_query(model="hier", hierarchy={"clusters": 2}))
+        query = query_for(sig, 0.75, n_buses=2)
+        direct = build_model(_query(model="hier", B=2, r=0.75,
+                                    hierarchy={"clusters": 2}))
+        rebuilt = build_model(query)
+        assert type(rebuilt) is type(direct)
+        assert rebuilt.rate == direct.rate
+        assert (
+            rebuilt.symmetric_module_probability()
+            == direct.symmetric_module_probability()
+        )
+
+
+class TestRateGrid:
+    def test_dyadic_rates_are_bitwise_gridpoints(self):
+        grid = default_rate_grid(128)
+        values = {float(r) for r in grid}
+        for rate in (0.0, 0.25, 0.5, 0.75, 1.0, 1 / 128, 3 / 64):
+            assert rate in values
+
+    def test_grid_spans_unit_interval(self):
+        grid = default_rate_grid(16)
+        assert grid[0] == 0.0
+        assert grid[-1] == 1.0
+        assert grid.size == 17
+        assert np.all(np.diff(grid) > 0)
+
+    def test_invalid_divisions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_rate_grid(0)
+
+
+class TestMaterialize:
+    def test_gridpoints_bit_identical_to_batch_engine(self):
+        query = _query()
+        surface = materialize_surface(signature_of(query))
+        model = build_model(query)
+        profile = scheme_bus_profile(
+            "full", 8, 8, list(range(1, 9)), model
+        )
+        for b, value in profile.values.items():
+            assert surface.exact(b, 0.5) == value  # bitwise
+
+    def test_infeasible_cells_are_nan_and_served_as_none(self):
+        query = _query(scheme="partial", B=2, n_groups=2)
+        surface = materialize_surface(signature_of(query))
+        # partial with g=2 needs B divisible by 2: odd columns are blank
+        assert math.isnan(surface.values[64, 0])
+        assert surface.exact(1, 0.5) is None
+        assert surface.interpolate(1, 0.3) is None
+        assert surface.exact(2, 0.5) is not None
+
+    def test_crossbar_clamps_any_positive_bus_count(self):
+        query = _query(scheme="crossbar", B=1)
+        surface = materialize_surface(signature_of(query))
+        assert surface.exact(1, 0.5) == surface.exact(5, 0.5)
+        assert surface.exact(200, 0.5) == surface.exact(1, 0.5)
+
+    def test_extra_rates_merge_sorted_and_exact(self):
+        sig = signature_of(_query())
+        surface = materialize_surface(sig, extra_rates=(0.333, 0.1234))
+        assert np.all(np.diff(surface.rates) > 0)
+        assert surface.exact(3, 0.333) is not None
+        query = _query(r=0.333)
+        profile = scheme_bus_profile(
+            "full", 8, 8, [3], build_model(query)
+        )
+        assert surface.exact(3, 0.333) == profile.values[3]
+
+    def test_out_of_range_extra_rates_rejected(self):
+        sig = signature_of(_query())
+        with pytest.raises(ConfigurationError):
+            materialize_surface(sig, extra_rates=(1.5,))
+
+    def test_arrays_are_read_only(self):
+        surface = materialize_surface(signature_of(_query()))
+        for array in (surface.bus_counts, surface.rates, surface.values):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+
+class TestSurfaceLookup:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return materialize_surface(signature_of(_query()))
+
+    def test_exact_misses_off_grid(self, surface):
+        assert surface.exact(3, 0.5) is not None
+        assert surface.exact(3, 0.5001) is None
+
+    def test_interpolate_at_gridpoint_returns_stored_value(self, surface):
+        assert surface.interpolate(3, 0.75) == surface.exact(3, 0.75)
+
+    def test_interpolate_brackets_linearly(self, surface):
+        r_lo, r_hi = 64 / 128, 65 / 128
+        mid = (r_lo + r_hi) / 2
+        v_lo, v_hi = surface.exact(3, r_lo), surface.exact(3, r_hi)
+        estimated = surface.interpolate(3, mid)
+        assert estimated == pytest.approx((v_lo + v_hi) / 2, rel=1e-12)
+        assert min(v_lo, v_hi) <= estimated <= max(v_lo, v_hi)
+
+    def test_out_of_hull_and_bus_range_return_none(self, surface):
+        assert surface.interpolate(3, 1.5) is None
+        assert surface.interpolate(0, 0.5) is None
+        assert surface.interpolate(9, 0.5) is None
+        assert surface.exact(9, 0.5) is None
+
+    def test_empty_surface_serves_nothing(self):
+        sig = SurfaceSignature(
+            scheme="full", n_processors=4, n_memories=4, model="unif"
+        )
+        empty = Surface(
+            signature=sig,
+            version=1,
+            bus_counts=np.array([], dtype=np.int64),
+            rates=np.array([]),
+            values=np.zeros((0, 0)),
+        )
+        assert empty.exact(1, 0.5) is None
+        assert empty.interpolate(1, 0.5) is None

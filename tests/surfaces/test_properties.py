@@ -1,0 +1,124 @@
+"""Property-based invariants of surface lookups, including interpolation.
+
+Surface serving must preserve the structural laws pinned on the closed
+forms in ``tests/properties/test_bandwidth_properties.py``: bandwidth
+monotone non-decreasing in the bus count and the request rate, and
+bounded by ``min(B, M, N * r)``.  Exact gridpoint reads inherit them
+trivially (they *are* the closed-form values); the point of this suite
+is that linear interpolation along the rate axis cannot break them
+either — a convex combination of two values drawn from a monotone
+bounded curve stays monotone and bounded.
+
+Runs under the derandomized "ci" profile registered in
+``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.service.protocol import parse_query
+from repro.surfaces import materialize_surface, signature_of
+
+BUS_SCHEMES = ("full", "single", "partial", "kclass")
+SCHEMES = BUS_SCHEMES + ("crossbar",)
+
+TOL = 1e-9
+
+# Power-of-two machines keep every scheme structurally valid (B divides
+# M for "single", the default g = 2 divides B for "partial", K = B
+# classes split M evenly for "kclass"); N in {8, 16} keeps the
+# per-signature materialization cheap enough for a property sweep.
+n_exponents = st.integers(min_value=3, max_value=4)
+rates = st.floats(min_value=0.05, max_value=1.0)
+
+_SURFACES: dict = {}
+
+
+def _surface(scheme: str, n: int):
+    """One materialized surface per (scheme, N), cached across examples."""
+    key = (scheme, n)
+    if key not in _SURFACES:
+        query = parse_query(
+            {"scheme": scheme, "N": n, "M": n, "B": 1, "r": 1.0}
+        )
+        _SURFACES[key] = materialize_surface(signature_of(query))
+    return _SURFACES[key]
+
+
+def _lookup(scheme: str, n: int, n_buses: int, rate: float) -> float:
+    """Serve exactly when on-grid, interpolate otherwise — like the store."""
+    surface = _surface(scheme, n)
+    value = surface.exact(n_buses, rate)
+    if value is None:
+        value = surface.interpolate(n_buses, rate)
+    assert value is not None
+    return value
+
+
+def _valid_bus_exponents(scheme: str, n_exp: int) -> st.SearchStrategy[int]:
+    low = 1 if scheme == "partial" else 0
+    return st.integers(min_value=low, max_value=n_exp)
+
+
+@pytest.mark.parametrize("scheme", BUS_SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate=rates)
+def test_lookup_monotone_in_bus_count(scheme, n_exp, data, rate):
+    exps = data.draw(
+        st.lists(
+            _valid_bus_exponents(scheme, n_exp),
+            min_size=2, max_size=2, unique=True,
+        ),
+        label="bus exponents",
+    )
+    b_low, b_high = (2**e for e in sorted(exps))
+    n = 2**n_exp
+    assert (
+        _lookup(scheme, n, b_low, rate)
+        <= _lookup(scheme, n, b_high, rate) + TOL
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate_pair=st.tuples(rates, rates))
+def test_lookup_monotone_in_request_rate(scheme, n_exp, data, rate_pair):
+    b_exp = data.draw(_valid_bus_exponents(scheme, n_exp), label="B exponent")
+    n, n_buses = 2**n_exp, 2**b_exp
+    r_low, r_high = sorted(rate_pair)
+    assert (
+        _lookup(scheme, n, n_buses, r_low)
+        <= _lookup(scheme, n, n_buses, r_high) + TOL
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate=rates)
+def test_lookup_bounded_by_buses_modules_and_load(scheme, n_exp, data, rate):
+    b_exp = data.draw(_valid_bus_exponents(scheme, n_exp), label="B exponent")
+    n, n_buses = 2**n_exp, 2**b_exp
+    value = _lookup(scheme, n, n_buses, rate)
+    assert value >= 0.0
+    if scheme != "crossbar":  # the crossbar has no bus bottleneck
+        assert value <= n_buses + TOL
+    assert value <= n + TOL  # M = n modules
+    assert value <= n * rate + TOL  # expected offered load
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(n_exp=n_exponents, data=st.data(), rate=rates)
+def test_interpolated_points_stay_between_their_gridpoints(
+    scheme, n_exp, data, rate
+):
+    b_exp = data.draw(_valid_bus_exponents(scheme, n_exp), label="B exponent")
+    n, n_buses = 2**n_exp, 2**b_exp
+    surface = _surface(scheme, n)
+    if surface.exact(n_buses, rate) is not None:
+        return  # landed on a gridpoint: nothing to bracket
+    import numpy as np
+
+    hi = int(np.searchsorted(surface.rates, rate))
+    lo_v = surface.exact(n_buses, float(surface.rates[hi - 1]))
+    hi_v = surface.exact(n_buses, float(surface.rates[hi]))
+    value = surface.interpolate(n_buses, rate)
+    assert min(lo_v, hi_v) - TOL <= value <= max(lo_v, hi_v) + TOL

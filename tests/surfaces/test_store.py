@@ -1,0 +1,262 @@
+"""Store tests: lookup tiers, hot detection, refresh, sweep attachment."""
+
+import asyncio
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.batch import scheme_bus_profile
+from repro.analysis.parallel import sweep_cell_specs, _simulated_cell
+from repro.resilience.retry import RetryPolicy
+from repro.service.protocol import build_model, parse_query
+from repro.surfaces import (
+    LocalArena,
+    SurfaceArena,
+    SurfaceRefresher,
+    SurfaceStore,
+    signature_of,
+    sweep_cell_signature,
+)
+from repro.surfaces.store import ENV_PREFIX
+
+
+def _query(**overrides):
+    payload = {"scheme": "full", "N": 8, "M": 8, "B": 3, "r": 0.5}
+    payload.update(overrides)
+    return parse_query(payload)
+
+
+@pytest.fixture
+def store():
+    return SurfaceStore(arena=LocalArena(), hot_threshold=3)
+
+
+class TestLookup:
+    def test_unpublished_then_exact_after_materialize(self, store):
+        query = _query()
+        assert store.lookup(query) == (None, "unpublished")
+        store.materialize(signature_of(query))
+        value, kind = store.lookup(query)
+        assert kind == "exact"
+        profile = scheme_bus_profile(
+            "full", 8, 8, [3], build_model(query)
+        )
+        assert value == profile.values[3]  # bitwise
+
+    def test_interpolated_off_grid(self, store):
+        store.materialize(signature_of(_query()))
+        value, kind = store.lookup(_query(r=0.47))
+        assert kind == "interpolated"
+        assert value is not None
+
+    def test_interpolation_can_be_disabled(self):
+        store = SurfaceStore(arena=LocalArena(), interpolate=False)
+        store.materialize(signature_of(_query()))
+        assert store.lookup(_query(r=0.47)) == (None, "off_surface")
+        assert store.lookup(_query(r=0.5))[1] == "exact"
+
+    def test_sweeps_never_served(self, store):
+        store.materialize(signature_of(_query()))
+        sweep = parse_query(
+            {"scheme": "full", "N": 8, "M": 8, "B": [1, 2], "r": 0.5},
+            sweep=True,
+        )
+        assert store.lookup(sweep) == (None, "sweep")
+
+    def test_infeasible_cell_is_a_miss(self, store):
+        query = _query(scheme="partial", B=3, n_groups=2)
+        store.materialize(signature_of(query))
+        assert store.lookup(query) == (None, "off_surface")
+
+    def test_lookup_metrics(self, store):
+        with telemetry() as registry:
+            store.lookup(_query())  # unpublished
+            store.materialize(signature_of(_query()))
+            store.lookup(_query())  # exact
+            store.lookup(_query(r=0.47))  # interpolated
+            counters = {
+                dict(labels)["result"]: value
+                for (name, labels), value in registry.counters().items()
+                if name == "surfaces.lookups"
+            }
+        assert counters == {
+            "unpublished": 1, "exact": 1, "interpolated": 1,
+        }
+
+
+class TestHotDetection:
+    def test_threshold_crossing_marks_hot(self, store):
+        query = _query()
+        with telemetry() as registry:
+            for _ in range(3):
+                store.lookup(query)
+            assert registry.counter_total("surfaces.hot_detected") == 1
+        hot = store.take_hot()
+        assert len(hot) == 1
+        signature, rates = hot[0]
+        assert signature == signature_of(query)
+        assert rates == (0.5,)
+        assert store.take_hot() == []  # drained
+
+    def test_interpolated_rates_become_refinements(self, store):
+        store.materialize(signature_of(_query()))
+        for _ in range(3):
+            store.lookup(_query(r=0.47))
+        [(signature, rates)] = store.take_hot()
+        store.materialize(signature, rates)
+        value, kind = store.lookup(_query(r=0.47))
+        assert kind == "exact"
+        truth = scheme_bus_profile(
+            "full", 8, 8, [3], build_model(_query(r=0.47))
+        )
+        assert value == truth.values[3]  # promoted to bitwise
+
+    def test_refinements_accumulate_across_refreshes(self, store):
+        sig = signature_of(_query())
+        store.materialize(sig, (0.47,))
+        store.materialize(sig, (0.33,))  # must keep 0.47 too
+        assert store.lookup(_query(r=0.47))[1] == "exact"
+        assert store.lookup(_query(r=0.33))[1] == "exact"
+
+    def test_pressure_reports_tallies(self, store):
+        store.lookup(_query())
+        assert list(store.pressure().values()) == [1]
+
+
+class TestSwapVisibility:
+    def test_store_reattaches_after_external_swap(self):
+        arena = LocalArena()
+        reader = SurfaceStore(arena=arena)
+        writer = SurfaceStore(arena=arena)
+        sig = signature_of(_query())
+        writer.materialize(sig)
+        assert reader.lookup(_query())[1] == "exact"
+        with telemetry() as registry:
+            writer.materialize(sig, (0.47,))
+            value, kind = reader.lookup(_query(r=0.47))
+            assert kind == "exact"  # new version visible immediately
+            assert registry.counter_total("surfaces.reattached") == 1
+
+    def test_materialize_counts_swaps(self):
+        store = SurfaceStore(arena=LocalArena())
+        sig = signature_of(_query())
+        with telemetry() as registry:
+            store.materialize(sig)
+            assert registry.counter_total("surfaces.swaps") == 0
+            store.materialize(sig)
+            assert registry.counter_total("surfaces.swaps") == 1
+
+
+class TestRefresher:
+    def test_hot_signature_refreshed_in_background(self):
+        store = SurfaceStore(arena=LocalArena(), hot_threshold=2)
+        refresher = SurfaceRefresher(store, interval=60.0)
+
+        async def main():
+            with telemetry() as registry:
+                for _ in range(2):
+                    store.lookup(_query())
+                published = await refresher.refresh_once()
+                assert published == 1
+                refresh = registry.counter_total("surfaces.refresh")
+            assert store.lookup(_query())[1] == "exact"
+            return refresh
+
+        assert asyncio.run(main()) == 1
+
+    def test_refresh_failure_degrades_gracefully(self):
+        store = SurfaceStore(arena=LocalArena(), hot_threshold=1)
+        refresher = SurfaceRefresher(
+            store,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_seconds=0.0),
+        )
+        boom = RuntimeError("materialize blew up")
+
+        def failing(signature, extra_rates=()):
+            raise boom
+
+        store.materialize = failing
+
+        async def main():
+            with telemetry() as registry:
+                store.lookup(_query())
+                published = await refresher.refresh_once()
+                assert published == 0
+                statuses = {
+                    dict(labels).get("status"): value
+                    for (name, labels), value in registry.counters().items()
+                    if name == "surfaces.refresh"
+                }
+                assert statuses == {"error": 1}
+                events = [
+                    e for e in registry.events()
+                    if e["kind"] == "surfaces.refresh_failed"
+                ]
+                assert len(events) == 1
+            # serving still works through the normal tiers
+            assert store.lookup(_query())[0] is None
+
+        asyncio.run(main())
+
+    def test_start_stop_lifecycle(self):
+        store = SurfaceStore(arena=LocalArena(), hot_threshold=1)
+        refresher = SurfaceRefresher(store, interval=0.01)
+
+        async def main():
+            refresher.start()
+            refresher.start()  # idempotent
+            store.lookup(_query())
+            refresher.poke()
+            for _ in range(100):
+                if store.lookup(_query())[1] == "exact":
+                    break
+                await asyncio.sleep(0.01)
+            await refresher.stop()
+            assert store.lookup(_query())[1] == "exact"
+
+        asyncio.run(main())
+
+
+class TestSweepAttachment:
+    def test_cell_signature_maps_paper_model_pair(self):
+        specs = sweep_cell_specs(
+            "full", 8, bus_counts=(3,), rates=(0.5,), n_cycles=10, seed=1
+        )
+        by_model = {spec["model_name"]: spec for spec in specs}
+        unif = sweep_cell_signature(by_model["unif"])
+        assert unif == signature_of(_query())
+        hier = sweep_cell_signature(by_model["hier"])
+        assert hier == signature_of(
+            _query(model="hier", hierarchy={"clusters": 4})
+        )
+
+    def test_custom_factories_do_not_map(self):
+        spec = {"model_factory_name": "my_factory", "model_name": "unif"}
+        assert sweep_cell_signature(spec) is None
+
+    def test_worker_reads_analytic_from_arena(self, tmp_path):
+        prefix = f"repro-test-{tmp_path.name.lower()}"
+        service_store = SurfaceStore(arena=SurfaceArena(prefix=prefix))
+        try:
+            service_store.materialize(signature_of(_query()))
+            specs = sweep_cell_specs(
+                "full", 8, bus_counts=(3,), rates=(0.5,), n_cycles=50,
+                seed=2,
+            )
+            spec = next(s for s in specs if s["model_name"] == "unif")
+            baseline = _simulated_cell(dict(spec))["analytic"]
+            os.environ[ENV_PREFIX] = prefix
+            try:
+                record = _simulated_cell(dict(spec))
+            finally:
+                os.environ.pop(ENV_PREFIX, None)
+                import repro.surfaces.store as store_module
+                if store_module._env_store is not None:
+                    store_module._env_store.close()
+                    store_module._env_store = None
+            surface = service_store.surface_for(signature_of(_query()))
+            assert record["analytic"] == surface.exact(3, 0.5)  # shared
+            assert record["analytic"] == pytest.approx(baseline, abs=1e-9)
+        finally:
+            service_store.unlink_all()

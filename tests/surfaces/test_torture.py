@@ -1,0 +1,190 @@
+"""Multi-process torture: concurrent readers under atomic version swaps.
+
+The arena's consistency claim is structural — data segments are
+write-once and checksummed, only a 32-byte seqlock pointer ever mutates
+— but the claim is about *processes*, so these tests exercise it with
+real ones:
+
+* N reader processes hammer ``load``/``exact`` while the parent swaps
+  versions as fast as it can.  Every read must decode (magic, digest,
+  expected version, checksum — a torn surface cannot pass), carry a
+  monotonically non-decreasing version, and serve the exact expected
+  values.
+* After the final swap completes, a fresh load in every process must
+  observe the final version — no stale-version reads once ``publish``
+  returns.
+* Teardown is leak-free: ``unlink_all`` empties the prefix, and even a
+  SIGKILLed publisher (whose resource tracker never saw the segments)
+  leaves nothing behind once :meth:`SurfaceArena.purge` runs — the
+  janitor pattern reused from the chaos harness in
+  ``tests/resilience/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import parse_query
+from repro.surfaces import (
+    SurfaceArena,
+    materialize_surface,
+    signature_of,
+)
+
+SHM = Path("/dev/shm")
+
+pytestmark = pytest.mark.skipif(
+    not SHM.is_dir(), reason="POSIX shared memory not available"
+)
+
+N_READERS = 4
+N_SWAPS = 30
+
+
+def _segments(prefix):
+    return sorted(p.name for p in SHM.glob(f"{prefix}.*"))
+
+
+def _query():
+    return parse_query(
+        {"scheme": "full", "N": 8, "M": 8, "B": 3, "r": 0.5}
+    )
+
+
+def _reader(prefix, stop_event, result_queue):
+    """Loop lookups against a swapping arena; report any anomaly."""
+    query = _query()
+    signature = signature_of(query)
+    arena = SurfaceArena(prefix=prefix)
+    reads = 0
+    last_version = 0
+    try:
+        while not stop_event.is_set():
+            surface = arena.load(signature)
+            if surface is None:
+                continue  # nothing published yet
+            if surface.version < last_version:
+                result_queue.put(
+                    ("version-regression", surface.version, last_version)
+                )
+                return
+            last_version = surface.version
+            value = surface.exact(3, 0.5)
+            expected = float(surface.values[64, 2])
+            if value != expected or not np.isfinite(value):
+                result_queue.put(("torn-read", value, surface.version))
+                return
+            reads += 1
+        # Swaps are over: the next load must see the final version.
+        final = arena.load(signature)
+        result_queue.put(("ok", reads, final.version if final else None))
+    finally:
+        arena.close()
+
+
+class TestConcurrentSwaps:
+    def test_readers_never_torn_never_stale(self, tmp_path):
+        prefix = f"repro-tort-{tmp_path.name.lower()}"
+        query = _query()
+        signature = signature_of(query)
+        surface = materialize_surface(signature)
+
+        ctx = multiprocessing.get_context("fork")
+        stop = ctx.Event()
+        results = ctx.Queue()
+        arena = SurfaceArena(prefix=prefix)
+        try:
+            arena.publish(surface)
+            readers = [
+                ctx.Process(
+                    target=_reader, args=(prefix, stop, results),
+                    daemon=True,
+                )
+                for _ in range(N_READERS)
+            ]
+            for reader in readers:
+                reader.start()
+            final_version = 1
+            for _ in range(N_SWAPS):
+                final_version = arena.publish(surface)
+                time.sleep(0.005)  # let readers interleave
+            stop.set()
+            outcomes = [results.get(timeout=30) for _ in readers]
+            for reader in readers:
+                reader.join(timeout=30)
+
+            assert all(kind == "ok" for kind, *_ in outcomes), outcomes
+            total_reads = sum(reads for _, reads, _ in outcomes)
+            assert total_reads > 0
+            # post-swap loads observe exactly the final version
+            assert [v for *_, v in outcomes] == (
+                [final_version] * N_READERS
+            )
+            assert final_version == N_SWAPS + 1
+        finally:
+            stop.set()
+            arena.unlink_all()
+        assert _segments(prefix) == []
+
+
+class TestCrashCleanup:
+    def test_sigkilled_publisher_leaves_no_segments_after_purge(
+        self, tmp_path
+    ):
+        prefix = f"repro-tort-{tmp_path.name.lower()}"
+        surface = materialize_surface(signature_of(_query()))
+
+        def _publisher():
+            arena = SurfaceArena(prefix=prefix)
+            arena.publish(surface)
+            os.kill(os.getpid(), signal.SIGKILL)  # dies mid-ownership
+
+        ctx = multiprocessing.get_context("fork")
+        publisher = ctx.Process(target=_publisher)
+        publisher.start()
+        publisher.join(timeout=30)
+        assert publisher.exitcode == -signal.SIGKILL
+
+        # The fork-shared resource tracker cannot reclaim these.
+        leaked = _segments(prefix)
+        assert leaked, "publisher should have leaked segments"
+        removed = SurfaceArena.purge(prefix)
+        assert sorted(removed) == leaked
+        assert _segments(prefix) == []
+
+    def test_sigkilled_reader_does_not_unlink_live_arena(self, tmp_path):
+        prefix = f"repro-tort-{tmp_path.name.lower()}"
+        signature = signature_of(_query())
+        surface = materialize_surface(signature)
+        arena = SurfaceArena(prefix=prefix)
+        try:
+            arena.publish(surface)
+
+            def _doomed_reader():
+                reader = SurfaceArena(prefix=prefix)
+                loaded = reader.load(signature)
+                assert loaded is not None
+                os.kill(os.getpid(), signal.SIGKILL)
+
+            ctx = multiprocessing.get_context("fork")
+            reader = ctx.Process(target=_doomed_reader)
+            reader.start()
+            reader.join(timeout=30)
+            assert reader.exitcode == -signal.SIGKILL
+
+            # The attach-side unregister kept the reader's tracker out
+            # of the arena: segments survive and still serve.
+            assert _segments(prefix)
+            assert arena.load(signature).exact(3, 0.5) == surface.exact(
+                3, 0.5
+            )
+        finally:
+            arena.unlink_all()
+        assert _segments(prefix) == []
