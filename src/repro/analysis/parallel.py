@@ -125,6 +125,21 @@ class ResultCache:
     :func:`os.replace`, so readers only ever observe a complete
     envelope — last writer wins — and :meth:`get` re-hashes the content
     against the stored checksum on every read.
+
+    **Batched checkpointing** — with ``flush_every`` and/or
+    ``flush_seconds`` set, :meth:`put` buffers entries in memory and
+    writes them in batches: a flush triggers once ``flush_every``
+    entries are pending or the oldest pending entry is
+    ``flush_seconds`` old (checked on each :meth:`put` — there is no
+    background thread, so a long gap between puts defers the timed
+    flush to the next one; call :meth:`flush` at natural barriers).
+    Reads see buffered entries immediately.  Crash consistency is
+    unchanged: every flushed entry still goes through its own temp
+    file + atomic :func:`os.replace` with the checksummed envelope, so
+    a crash mid-flush can only lose *unflushed* entries — never corrupt
+    published ones.  Grid sweeps writing thousands of small records cut
+    their syscall traffic by ~``flush_every`` at the cost of an
+    at-most-``flush_every``-cell replay after a crash.
     """
 
     _MISSING = object()
@@ -134,9 +149,27 @@ class ResultCache:
     #: Process-wide counter making concurrent same-pid temp names unique.
     _tmp_counter = itertools.count()
 
-    def __init__(self, directory: str | Path):
+    def __init__(
+        self,
+        directory: str | Path,
+        flush_every: int | None = None,
+        flush_seconds: float | None = None,
+    ):
+        if flush_every is not None and flush_every < 1:
+            raise ConfigurationError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
+        if flush_seconds is not None and flush_seconds < 0:
+            raise ConfigurationError(
+                f"flush_seconds must be >= 0, got {flush_seconds}"
+            )
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
+        self._flush_every = flush_every
+        self._flush_seconds = flush_seconds
+        self._buffer: dict[str, object] = {}
+        self._buffer_lock = threading.Lock()
+        self._oldest_pending: float | None = None
 
     @property
     def directory(self) -> Path:
@@ -183,6 +216,9 @@ class ResultCache:
         Unparseable or checksum-mismatched entries are quarantined and
         reported as misses instead of raising.
         """
+        with self._buffer_lock:
+            if key in self._buffer:
+                return self._buffer[key]
         path = self._path(key)
         try:
             with open(path) as handle:
@@ -201,10 +237,66 @@ class ResultCache:
         return entry  # legacy bare value
 
     def __contains__(self, key: str) -> bool:
+        with self._buffer_lock:
+            if key in self._buffer:
+                return True
         return self._path(key).exists()
 
+    @property
+    def pending(self) -> int:
+        """Buffered entries not yet flushed to disk."""
+        with self._buffer_lock:
+            return len(self._buffer)
+
     def put(self, key: str, value: object) -> None:
-        """Store ``value`` under ``key`` atomically, with its checksum.
+        """Store ``value`` under ``key`` — directly, or via the batch buffer.
+
+        Without batching (the default) this writes the checksummed
+        envelope atomically right away.  With ``flush_every`` /
+        ``flush_seconds`` set, the entry is buffered and the whole
+        buffer is written once either threshold trips.
+        """
+        if self._flush_every is None and self._flush_seconds is None:
+            self._write_entry(key, value)
+            return
+        with self._buffer_lock:
+            self._buffer[key] = value
+            if self._oldest_pending is None:
+                self._oldest_pending = time.monotonic()
+            due = (
+                self._flush_every is not None
+                and len(self._buffer) >= self._flush_every
+            ) or (
+                self._flush_seconds is not None
+                and time.monotonic() - self._oldest_pending
+                >= self._flush_seconds
+            )
+        if due:
+            self.flush()
+
+    def flush(self) -> int:
+        """Write every buffered entry to disk; return how many were written.
+
+        Entries are snapshotted out of the buffer first, so concurrent
+        :meth:`put` calls during the flush buffer for the *next* batch
+        instead of blocking.  Each entry keeps the atomic
+        temp-file + replace + checksum path of a direct :meth:`put`.
+        """
+        with self._buffer_lock:
+            batch = self._buffer
+            self._buffer = {}
+            self._oldest_pending = None
+        for key, value in batch.items():
+            self._write_entry(key, value)
+        if batch:
+            get_registry().increment("parallel.disk_cache.flushes")
+            get_registry().increment(
+                "parallel.disk_cache.flushed_entries", value=len(batch)
+            )
+        return len(batch)
+
+    def _write_entry(self, key: str, value: object) -> None:
+        """Atomically publish one checksummed envelope.
 
         The temp name is unique per (process, thread, call): a pid-only
         suffix lets two threads of one process open the *same* temp
@@ -351,37 +443,47 @@ def parallel_map(
             last_error=exc,
         ) from exc
 
-    if n_workers is not None and n_workers > 1 and len(pending) > 1:
-        with span("parallel.map", mode="pool", tasks=len(pending)):
-            _pool_map(
-                func,
-                pending,
-                results,
-                n_workers,
-                cache,
-                policy,
-                _record_task,
-                _record_retry,
-                _exhausted,
-                registry,
-            )
-    else:
-        with span("parallel.map", mode="serial", tasks=len(pending)):
-            for index, item, key in pending:
-                attempt = 1
-                while True:
-                    try:
-                        results[index], seconds, pid = _timed_call(func, item)
-                        break
-                    except Exception as exc:
-                        if not policy.should_retry(attempt):
-                            _exhausted(index, attempt, exc)
-                        _record_retry(index, attempt, type(exc).__name__)
-                        time.sleep(policy.delay(attempt, token=str(index)))
-                        attempt += 1
-                _record_task(seconds, pid, "serial")
-                if cache is not None:
-                    cache.put(key, results[index])
+    try:
+        if n_workers is not None and n_workers > 1 and len(pending) > 1:
+            with span("parallel.map", mode="pool", tasks=len(pending)):
+                _pool_map(
+                    func,
+                    pending,
+                    results,
+                    n_workers,
+                    cache,
+                    policy,
+                    _record_task,
+                    _record_retry,
+                    _exhausted,
+                    registry,
+                )
+        else:
+            with span("parallel.map", mode="serial", tasks=len(pending)):
+                for index, item, key in pending:
+                    attempt = 1
+                    while True:
+                        try:
+                            results[index], seconds, pid = _timed_call(
+                                func, item
+                            )
+                            break
+                        except Exception as exc:
+                            if not policy.should_retry(attempt):
+                                _exhausted(index, attempt, exc)
+                            _record_retry(index, attempt, type(exc).__name__)
+                            time.sleep(
+                                policy.delay(attempt, token=str(index))
+                            )
+                            attempt += 1
+                    _record_task(seconds, pid, "serial")
+                    if cache is not None:
+                        cache.put(key, results[index])
+    finally:
+        # Batched caches checkpoint at the barrier (and on the way out
+        # of a failing sweep, so completed cells survive the error).
+        if cache is not None:
+            cache.flush()
     return results
 
 

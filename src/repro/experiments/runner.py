@@ -106,6 +106,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--fabric",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run fabric-capable experiments across N distributed worker "
+            "processes (tree fan-out, heartbeats, crash re-sharding); "
+            "records are bit-identical to the in-process executors"
+        ),
+    )
+    parser.add_argument(
         "--telemetry",
         metavar="PATH",
         default=None,
@@ -122,6 +133,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     run_kwargs = {}
     if args.workers is not None:
         run_kwargs["n_workers"] = args.workers
+    if args.fabric is not None:
+        run_kwargs["fabric_workers"] = args.fabric
 
     if args.json:
         import json

@@ -38,7 +38,7 @@ from repro.experiments.base import ExperimentResult
 from repro.simulation.engine import MultiprocessorSimulator
 from repro.topology.factory import build_network
 
-__all__ = ["run", "independence_workload"]
+__all__ = ["run", "independence_workload", "validation_cells"]
 
 _CONFIGS = (
     ("full", 8, 4, {}),
@@ -98,13 +98,16 @@ def _validation_cell(spec: dict) -> dict[str, object]:
     return record
 
 
-def run(
-    n_cycles: int = 40_000,
-    seed: int = 2024,
-    n_workers: int | None = None,
-    backend: str = "auto",
-) -> ExperimentResult:
-    """Run both validation modes over representative configurations."""
+def validation_cells(
+    n_cycles: int = 40_000, seed: int = 2024, backend: str = "auto"
+) -> list[dict]:
+    """The per-cell work specs of E9, seeds attached, config-outer order.
+
+    A pure function of its arguments (per-cell seeds are spawned by
+    cell index), so any executor — the serial loop, the fork pool, or
+    the distributed fabric — computes bit-identical records from equal
+    specs.
+    """
     cells = [
         {"config": config, "mode": mode, "n_cycles": n_cycles,
          "backend": backend}
@@ -113,7 +116,41 @@ def run(
     ]
     for cell, cell_seed in zip(cells, spawn_seeds(seed, len(cells))):
         cell["seed"] = cell_seed
-    records = parallel_map(_validation_cell, cells, n_workers=n_workers)
+    return cells
+
+
+def run(
+    n_cycles: int = 40_000,
+    seed: int = 2024,
+    n_workers: int | None = None,
+    backend: str = "auto",
+    fabric_workers: int | None = None,
+) -> ExperimentResult:
+    """Run both validation modes over representative configurations.
+
+    ``fabric_workers`` dispatches the cells across that many fabric
+    worker *processes* (tree fan-out, heartbeats, crash re-sharding —
+    see :mod:`repro.fabric`) instead of the in-process executor;
+    records are bit-identical either way.
+    """
+    if fabric_workers is not None and fabric_workers > 0:
+        from repro.fabric import FabricConfig, FabricCoordinator, FabricJob
+
+        report = FabricCoordinator(
+            FabricJob(
+                kind="validation",
+                params={
+                    "n_cycles": n_cycles, "seed": seed, "backend": backend,
+                },
+            ),
+            FabricConfig(n_workers=fabric_workers),
+        ).run()
+        records = report.records
+    else:
+        cells = validation_cells(
+            n_cycles=n_cycles, seed=seed, backend=backend
+        )
+        records = parallel_map(_validation_cell, cells, n_workers=n_workers)
 
     rendered = render_table(
         records,

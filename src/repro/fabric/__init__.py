@@ -1,0 +1,50 @@
+"""Distributed sweep fabric: sharded coordinator/worker execution.
+
+The paper's tables and figures are grids over (scheme, N, M, B, r,
+hierarchy) — embarrassingly shardable work that previously bottlenecked
+on one fork-pool.  This package is the scale-out seam:
+
+* :mod:`repro.fabric.gridslice` — :class:`Grid` / :class:`GridSlice`, a
+  RangeSet-style compact cell-set algebra (union / intersect /
+  difference / ``split(n)``, canonical strings like
+  ``B=2-16/2,r=0.25-1.0``) used for shard addressing, checkpoint
+  manifests and retry bookkeeping.
+* :mod:`repro.fabric.wire` — the length-prefixed msgpack/JSON frame
+  protocol workers stream results and heartbeats over.
+* :mod:`repro.fabric.jobs` — :class:`FabricJob`, the JSON-safe job
+  descriptions both sides rebuild identically (per-cell seeds are
+  spawned by grid position, so shard boundaries can never change a
+  record).
+* :mod:`repro.fabric.worker` — the worker process entrypoint
+  (``python -m repro.fabric.worker``): spawns its own children for
+  tree fan-out, relays frames up, evaluates its slices.
+* :mod:`repro.fabric.coordinator` — :class:`FabricCoordinator`: shards
+  a job into GridSlices, fans out over the worker tree, tracks health
+  via heartbeats, and re-shards only the lost slices of a dead worker
+  through :mod:`repro.resilience.retry`.
+
+Workers attach to the PR-6 surface arena via ``REPRO_SURFACES_PREFIX``
+exactly like fork-pool workers do, and results are bit-identical to the
+single-process executor for any worker count, tree arity, or
+crash/retry interleaving.
+"""
+
+from repro.fabric.coordinator import (
+    FabricConfig,
+    FabricCoordinator,
+    FabricReport,
+    fabric_simulated_sweep,
+)
+from repro.fabric.gridslice import Grid, GridSlice
+from repro.fabric.jobs import FabricJob, build_job
+
+__all__ = [
+    "Grid",
+    "GridSlice",
+    "FabricJob",
+    "build_job",
+    "FabricConfig",
+    "FabricCoordinator",
+    "FabricReport",
+    "fabric_simulated_sweep",
+]

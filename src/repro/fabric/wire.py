@@ -1,0 +1,189 @@
+"""Length-prefixed msgpack/JSON frame protocol for fabric pipes.
+
+Every message between a fabric node and its parent is one *frame*::
+
+    +--------+----------------+------------------+
+    | codec  | payload length |     payload      |
+    | 1 byte | 4 bytes, >I    | length bytes     |
+    +--------+----------------+------------------+
+
+The codec byte makes every frame self-describing: ``0`` is JSON (always
+available), ``1`` is msgpack (used when the :mod:`msgpack` package is
+importable — the container this repo targets ships without it, so JSON
+is the working default; the seam is here for hosts that have it).
+Both codecs round-trip Python floats exactly — msgpack as IEEE-754
+doubles, JSON via ``repr`` shortest-round-trip text — which is what
+lets fabric results be compared ``==`` against the single-process
+executor.
+
+Frames are written whole under the caller's lock and read with
+blocking exact-length reads, so a relay node can forward a frame's raw
+bytes verbatim without re-encoding (:func:`read_raw_frame` /
+:func:`write_raw_frame`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+from typing import BinaryIO
+
+from repro.exceptions import ConfigurationError
+
+try:  # optional accelerator; the wire format does not require it
+    import msgpack
+except ImportError:  # pragma: no cover - absent in the target container
+    msgpack = None
+
+__all__ = [
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "default_codec",
+    "encode_frame",
+    "decode_payload",
+    "write_frame",
+    "write_raw_frame",
+    "read_raw_frame",
+    "read_frame",
+    "FrameError",
+]
+
+CODEC_JSON = 0
+CODEC_MSGPACK = 1
+
+_HEADER = struct.Struct(">BI")
+
+#: Hard ceiling on one frame's payload; a result record is a few hundred
+#: bytes, so anything near this is a protocol violation, not data.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(ConfigurationError):
+    """A malformed, oversized, or truncated frame."""
+
+
+def default_codec(name: str = "auto") -> int:
+    """Resolve a codec name (``auto`` | ``json`` | ``msgpack``)."""
+    if name == "json":
+        return CODEC_JSON
+    if name == "msgpack":
+        if msgpack is None:
+            raise ConfigurationError(
+                "msgpack codec requested but the msgpack package is not "
+                "installed"
+            )
+        return CODEC_MSGPACK
+    if name == "auto":
+        return CODEC_MSGPACK if msgpack is not None else CODEC_JSON
+    raise ConfigurationError(
+        f"unknown codec {name!r}; expected auto, json or msgpack"
+    )
+
+
+def encode_frame(message: dict, codec: int = CODEC_JSON) -> bytes:
+    """Serialize one message into header + payload bytes."""
+    if codec == CODEC_JSON:
+        payload = json.dumps(message, separators=(",", ":")).encode()
+    elif codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise ConfigurationError("msgpack codec unavailable")
+        payload = msgpack.packb(message, use_bin_type=True)
+    else:
+        raise FrameError(f"unknown codec byte {codec}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(codec, len(payload)) + payload
+
+
+def decode_payload(raw: bytes) -> dict:
+    """Decode one raw frame (header + payload) back into its message."""
+    if len(raw) < _HEADER.size:
+        raise FrameError(f"truncated frame header ({len(raw)} bytes)")
+    codec, length = _HEADER.unpack_from(raw)
+    payload = raw[_HEADER.size :]
+    if len(payload) != length:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes does not match "
+            f"declared length {length}"
+        )
+    if codec == CODEC_JSON:
+        return json.loads(payload)
+    if codec == CODEC_MSGPACK:
+        if msgpack is None:
+            raise FrameError(
+                "received a msgpack frame but the msgpack package is not "
+                "installed"
+            )
+        return msgpack.unpackb(payload, raw=False)
+    raise FrameError(f"unknown codec byte {codec}")
+
+
+def write_frame(
+    stream: BinaryIO,
+    message: dict,
+    codec: int = CODEC_JSON,
+    lock: threading.Lock | None = None,
+) -> None:
+    """Encode and write one frame, flushing; atomic under ``lock``."""
+    write_raw_frame(stream, encode_frame(message, codec), lock=lock)
+
+
+def write_raw_frame(
+    stream: BinaryIO, raw: bytes, lock: threading.Lock | None = None
+) -> None:
+    """Write pre-encoded frame bytes whole, flushing; atomic under ``lock``."""
+    if lock is None:
+        stream.write(raw)
+        stream.flush()
+        return
+    with lock:
+        stream.write(raw)
+        stream.flush()
+
+
+def _read_exact(stream: BinaryIO, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if chunks:
+                raise FrameError(
+                    f"stream ended mid-frame ({n - remaining} of {n} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_raw_frame(stream: BinaryIO) -> bytes | None:
+    """Read one whole frame's bytes; ``None`` on clean EOF."""
+    header = _read_exact(stream, _HEADER.size)
+    if header is None:
+        return None
+    codec, length = _HEADER.unpack(header)
+    if codec not in (CODEC_JSON, CODEC_MSGPACK):
+        raise FrameError(f"unknown codec byte {codec}")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _read_exact(stream, length) if length else b""
+    if length and payload is None:
+        raise FrameError("stream ended before frame payload")
+    return header + (payload or b"")
+
+
+def read_frame(stream: BinaryIO) -> dict | None:
+    """Read and decode one frame; ``None`` on clean EOF."""
+    raw = read_raw_frame(stream)
+    if raw is None:
+        return None
+    return decode_payload(raw)

@@ -173,6 +173,13 @@ def _service_section(registry: MetricsRegistry) -> dict[str, object]:
         "http_requests": _labelled_totals(
             registry, "service.http.requests", "path"
         ),
+        "encode_cache": {
+            "hits": int(registry.counter_total("service.encode.hits")),
+            "misses": int(registry.counter_total("service.encode.misses")),
+            "evictions": int(
+                registry.counter_total("service.encode.evictions")
+            ),
+        },
     }
 
 
@@ -202,6 +209,44 @@ def _surfaces_section(registry: MetricsRegistry) -> dict[str, object]:
                 registry, "service.surfaces.misses", "kind"
             ),
         },
+    }
+
+
+def _fabric_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Distributed-fabric digest: shard map, deaths, retries, fallbacks.
+
+    The ``shards`` list is the full dispatch history (re-shards
+    included, in dispatch order) with canonical
+    :class:`~repro.fabric.gridslice.GridSlice` strings, so two runs'
+    shard maps diff cleanly and a crash shows up as extra
+    ``attempt >= 2`` entries plus a ``worker_deaths`` record.
+    """
+    shards = [
+        {
+            key: event[key]
+            for key in ("node", "slice", "cells", "attempt")
+            if key in event
+        }
+        for event in registry.events()
+        if event["kind"] == "fabric.shard"
+    ]
+    deaths = [
+        {key: event[key] for key in ("node", "reason") if key in event}
+        for event in registry.events()
+        if event["kind"] == "fabric.worker_dead"
+    ]
+    return {
+        "workers_spawned": int(
+            registry.counter_total("fabric.workers_spawned")
+        ),
+        "slices": _labelled_totals(registry, "fabric.slices", "status"),
+        "results": int(registry.counter_total("fabric.results")),
+        "cache_hits": int(registry.counter_total("fabric.cache_hits")),
+        "local_cells": int(registry.counter_total("fabric.local_cells")),
+        "cell_errors": int(registry.counter_total("fabric.cell_errors")),
+        "retries": _labelled_totals(registry, "fabric.retries", "reason"),
+        "worker_deaths": deaths,
+        "shards": shards,
     }
 
 
@@ -250,6 +295,7 @@ def build_manifest(
         "faults": _faults_section(registry),
         "service": _service_section(registry),
         "surfaces": _surfaces_section(registry),
+        "fabric": _fabric_section(registry),
         "counters": _counters_section(registry),
         "timings": _timings_section(registry),
     }

@@ -43,6 +43,7 @@ the loop.
 from __future__ import annotations
 
 import dataclasses
+import json
 from collections import OrderedDict
 
 import asyncio
@@ -144,6 +145,13 @@ class QueryEngine:
         Optional :class:`~repro.surfaces.store.SurfaceStore` serving as
         tier zero for single-cell queries.  ``None`` (default) keeps
         the pre-surfaces pipeline exactly.
+    encode_cache_size:
+        Capacity of the encoded-bytes LRU behind
+        :meth:`encoded_payload`.  Responses served from a stable tier
+        (LRU or surfaces) skip the envelope rebuild *and* the
+        ``json.dumps`` on repeat hits — the HTTP front-end writes the
+        cached bytes straight to the socket.  ``0`` disables it
+        (every response encodes from scratch, the pre-PR behaviour).
     """
 
     def __init__(
@@ -155,6 +163,7 @@ class QueryEngine:
         limits: ServiceLimits | None = None,
         model_cache_size: int = 512,
         surfaces=None,
+        encode_cache_size: int = 2048,
     ):
         if cache_size < 0:
             raise ConfigurationError(
@@ -164,7 +173,13 @@ class QueryEngine:
             raise ConfigurationError(
                 f"model_cache_size must be >= 1, got {model_cache_size}"
             )
+        if encode_cache_size < 0:
+            raise ConfigurationError(
+                f"encode_cache_size must be >= 0, got {encode_cache_size}"
+            )
         self._cache_size = int(cache_size)
+        self._encode_cache_size = int(encode_cache_size)
+        self._encoded: OrderedDict[tuple[Query, str], bytes] = OrderedDict()
         self._admission = admission
         self.surfaces = surfaces
         self.limits = limits or ServiceLimits()
@@ -368,9 +383,54 @@ class QueryEngine:
             self._results.popitem(last=False)
             get_registry().increment("service.cache.evictions")
 
+    # ------------------------------------------------------------------
+    # Encoded-response cache (HTTP fast path)
+    # ------------------------------------------------------------------
+
+    #: Response sources whose bytes are worth keeping: these tiers are
+    #: hit repeatedly for the same query, so the encoded envelope is
+    #: stable and will be asked for again.  ``computed``/``coalesced``
+    #: responses re-arrive as ``cache`` hits, so caching their (different
+    #: ``"source"`` field) bytes would only pollute the LRU.
+    _CACHEABLE_SOURCES = frozenset({"cache", "surface", "surface_interp"})
+
+    def encoded_payload(self, response: QueryResponse) -> bytes:
+        """The response's JSON envelope as bytes, LRU-cached per tier.
+
+        A hot ``/query`` repeat (LRU or surface hit) costs one ordered
+        dict lookup instead of rebuilding the envelope dict and running
+        ``json.dumps`` — the dominant per-request CPU once the answer
+        itself is cached.  Keyed on ``(query, source)`` because the
+        envelope embeds the serving tier, and encoded lazily so a
+        response that is never serialized costs nothing.
+        """
+        if self._encode_cache_size == 0:
+            return json.dumps(response.payload()).encode()
+        registry = get_registry()
+        key = (response.query, response.source)
+        encoded = self._encoded.get(key)
+        if encoded is not None:
+            self._encoded.move_to_end(key)
+            registry.increment("service.encode.hits")
+            return encoded
+        registry.increment("service.encode.misses")
+        encoded = json.dumps(response.payload()).encode()
+        if response.source in self._CACHEABLE_SOURCES:
+            self._encoded[key] = encoded
+            while len(self._encoded) > self._encode_cache_size:
+                self._encoded.popitem(last=False)
+                registry.increment("service.encode.evictions")
+        return encoded
+
+    @property
+    def encoded_cache_size(self) -> int:
+        """Encoded response envelopes currently held."""
+        return len(self._encoded)
+
     def clear_cache(self) -> None:
         """Drop every finished result (in-flight computations are kept)."""
         self._results.clear()
+        self._encoded.clear()
 
     def close(self) -> None:
         """Tear down the batch window, cancelling queued submissions."""

@@ -218,7 +218,9 @@ class BandwidthService:
             response = await self.engine.execute_payload(
                 payload, sweep=(path == "/sweep")
             )
-            return 200, json.dumps(response.payload()).encode(), {}
+            # Hot repeats reuse the engine's encoded-bytes LRU instead
+            # of rebuilding the envelope and re-serializing it.
+            return 200, self.engine.encoded_payload(response), {}
         envelope = {
             "ok": False,
             "error": {
