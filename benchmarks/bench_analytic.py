@@ -9,12 +9,14 @@ models) three ways at ``N = M = 64`` and ``N = M = 256``:
   empty pmf cache (whole-grid kernels, cache being populated);
 * ``batch_warm`` — the same sweep again with the cache populated.
 
-Asserts a >= 5x batch-vs-scalar speedup floor (the typical machine
-lands well above 10x, but shared CI runners wobble; the measured value
-is always recorded in the report for regression tracking) with every
-cell equal to 1e-9, and a > 90% pmf hit rate on the warm pass — and
-writes the timings to ``BENCH_analytic.json`` at the repo root for the
-CI artifact.
+Asserts a >= 5x batch-vs-scalar speedup floor with every cell equal to
+1e-9, and a > 90% pmf hit rate on the warm pass — and writes the
+timings to ``BENCH_analytic.json`` at the repo root for the CI
+artifact.  The speedup floor is CPU-bound, so (mirroring
+``bench_fabric``) it is only asserted on hosts exposing >= 4 usable
+cores; on smaller or oversubscribed boxes the measured values are
+still recorded (with ``floor_asserted: false``) for regression
+tracking.
 
 ``test_telemetry_disabled_overhead`` guards the telemetry subsystem's
 "zero overhead when off" contract: with the default null registry the
@@ -23,6 +25,7 @@ instrumented hot paths must stay on the no-op code paths.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -40,6 +43,16 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_analytic.json"
 RATES = (1.0, 0.5)
 SIZES = (64, 256)
 SCHEME = "full"
+
+SPEEDUP_FLOOR = 5
+FLOOR_CORES = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def _scalar_sweep(n):
@@ -77,7 +90,13 @@ def _timed(fn):
 
 
 def test_batched_engine_speedup(benchmark):
-    report = {}
+    cores = _usable_cores()
+    floor_asserted = cores >= FLOOR_CORES
+    report = {
+        "cores": cores,
+        "floor": SPEEDUP_FLOOR,
+        "floor_asserted": floor_asserted,
+    }
     for n in SIZES:
         scalar_records, scalar_s = _timed(lambda n=n: _scalar_sweep(n))
 
@@ -102,12 +121,15 @@ def test_batched_engine_speedup(benchmark):
         assert hit_rate > 0.90, f"N={n}: warm hit rate {hit_rate:.2%}"
 
         speedup = scalar_s / cold_s
-        # Hard floor at 5x; the recorded speedup_cold in the JSON report
-        # is the number to watch for gradual regressions.
-        assert speedup >= 5, (
-            f"N={n}: batch sweep only {speedup:.1f}x faster than scalar "
-            f"(floor 5x; recorded value in {RESULT_PATH.name})"
-        )
+        # The floor is CPU-bound: only assert it on hosts with enough
+        # cores to show it; the recorded speedup_cold in the JSON report
+        # is the number to watch for gradual regressions either way.
+        if floor_asserted:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"N={n}: batch sweep only {speedup:.1f}x faster than "
+                f"scalar (floor {SPEEDUP_FLOOR}x; recorded value in "
+                f"{RESULT_PATH.name})"
+            )
         report[f"N{n}"] = {
             "cells": len(cold_records),
             "scalar_seconds": scalar_s,

@@ -1,0 +1,103 @@
+"""Priority-arbitration benchmark: vectorized vs loop under burst tenure.
+
+Times the priority engine (two criticality classes, geometric tenure
+L = 3) on ``full`` N = M = 16, B = 8 through both backends, asserting
+the exact-agreement contract — identical per-class grant arrays, not
+just close bandwidths — for every discipline, and writes the timings
+and speedups to ``BENCH_arbitration.json`` at the repo root.
+
+The speedup floor is CPU-bound, so (mirroring ``bench_fabric``) it is
+only asserted on hosts exposing >= 4 usable cores; the measured values
+are always recorded (with ``floor_asserted: false`` otherwise).  It is
+lower than the class-blind backend's 5x floor because the priority
+vectorized path still walks a per-cycle section for tenure state.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.sweep import paper_model_pair
+from repro.core.priority import DISCIPLINES, ArbitrationSpec
+from repro.simulation.engine import MultiprocessorSimulator
+from repro.topology.factory import build_network
+
+RESULT_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_arbitration.json"
+)
+
+SPEEDUP_FLOOR = 1.5
+FLOOR_CORES = 4
+CYCLES = 8_000
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def test_priority_backend_speedup(benchmark):
+    model = paper_model_pair(16, 1.0)["hier"]
+    network = build_network("full", 16, 16, 8)
+    cores = _usable_cores()
+    floor_asserted = cores >= FLOOR_CORES
+    report = {
+        "scheme": "full", "N": 16, "B": 8, "cycles": CYCLES,
+        "classes": [0.25, 0.75], "tenure": 3.0,
+        "cores": cores,
+        "floor": SPEEDUP_FLOOR,
+        "floor_asserted": floor_asserted,
+        "disciplines": {},
+    }
+    for discipline in DISCIPLINES:
+        spec = ArbitrationSpec(
+            discipline=discipline,
+            class_weights=(0.25, 0.75),
+            tenure=3.0,
+            tenure_dist="geometric",
+        )
+        start = time.perf_counter()
+        loop = MultiprocessorSimulator(
+            network, model, seed=11, backend="loop", spec=spec
+        ).run(CYCLES)
+        loop_seconds = time.perf_counter() - start
+
+        vec_sim = MultiprocessorSimulator(
+            network, model, seed=11, backend="vectorized", spec=spec
+        )
+        if discipline == DISCIPLINES[0]:
+            start = time.perf_counter()
+            vec = benchmark.pedantic(
+                lambda: vec_sim.run(CYCLES), rounds=1, iterations=1
+            )
+            vec_seconds = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            vec = vec_sim.run(CYCLES)
+            vec_seconds = time.perf_counter() - start
+
+        assert vec.per_class_grant_counts == loop.per_class_grant_counts
+        assert vec.per_class_starved_cycles == loop.per_class_starved_cycles
+        assert vec.total.bandwidth == loop.total.bandwidth
+
+        speedup = loop_seconds / vec_seconds
+        report["disciplines"][discipline] = {
+            "loop_seconds": round(loop_seconds, 4),
+            "vectorized_seconds": round(vec_seconds, 4),
+            "speedup": round(speedup, 2),
+            "bandwidth": loop.total.bandwidth,
+        }
+        if floor_asserted:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"{discipline}: priority vectorized only {speedup:.2f}x "
+                f"faster than loop (floor {SPEEDUP_FLOOR}x; recorded "
+                f"value in {RESULT_PATH.name})"
+            )
+
+    RESULT_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\npriority arbitration: {json.dumps(report)}")

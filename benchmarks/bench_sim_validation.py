@@ -8,6 +8,7 @@ against the reference loop backend.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -26,6 +27,16 @@ _AGREEMENT_SCHEMES = (
     ("partial", {"n_groups": 2}),
     ("kclass", {}),
 )
+
+SPEEDUP_FLOOR = 5
+FLOOR_CORES = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def test_sim_validation(benchmark):
@@ -87,12 +98,16 @@ def test_vectorized_speedup(benchmark):
 
     assert vec_result.bandwidth == loop_result.bandwidth
     speedup = loop_seconds / vec_seconds
+    cores = _usable_cores()
+    floor_asserted = cores >= FLOOR_CORES
     section = {
         "scheme": "full", "N": 16, "B": 8, "cycles": cycles,
         "loop_seconds": round(loop_seconds, 4),
         "vectorized_seconds": round(vec_seconds, 4),
         "speedup": round(speedup, 1),
-        "floor": 5,
+        "floor": SPEEDUP_FLOOR,
+        "cores": cores,
+        "floor_asserted": floor_asserted,
     }
     RESULT_PATH.write_text(
         json.dumps({"vectorized_speedup": section}, indent=2,
@@ -100,6 +115,12 @@ def test_vectorized_speedup(benchmark):
     )
     print(
         f"\nloop {loop_seconds:.3f}s, vectorized {vec_seconds:.3f}s, "
-        f"speedup {speedup:.1f}x (floor 5x; see {RESULT_PATH.name})"
+        f"speedup {speedup:.1f}x (floor {SPEEDUP_FLOOR}x; see "
+        f"{RESULT_PATH.name})"
     )
-    assert speedup >= 5, f"vectorized speedup {speedup:.1f}x < 5x"
+    # The floor is CPU-bound (mirrors bench_fabric): only assert it on
+    # hosts with enough cores; the measured value is always in the JSON.
+    if floor_asserted:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"vectorized speedup {speedup:.1f}x < {SPEEDUP_FLOOR}x"
+        )

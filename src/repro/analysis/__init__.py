@@ -3,6 +3,7 @@
 from repro.analysis.batch import (
     BusProfile,
     GridCell,
+    PriorityProfile,
     SkippedCell,
     bandwidth_full_batch,
     bandwidth_kclass_batch,
@@ -10,6 +11,7 @@ from repro.analysis.batch import (
     bandwidth_single_batch,
     binomial_pmf_grid,
     evaluate_cells,
+    priority_class_profile,
     scheme_bus_profile,
     tail_excess_all_buses,
     valid_bus_counts,
@@ -65,6 +67,8 @@ __all__ = [
     "bandwidth_single_batch",
     "bandwidth_kclass_batch",
     "scheme_bus_profile",
+    "PriorityProfile",
+    "priority_class_profile",
     "valid_bus_counts",
     "BusProfile",
     "SkippedCell",

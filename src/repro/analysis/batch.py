@@ -38,6 +38,16 @@ from repro.analysis.evaluate import analytic_bandwidth
 from repro.core.binomial import validate_probability
 from repro.core.cache import cached_binomial_pmf, cached_poisson_binomial_pmf
 from repro.core.kclasses import bandwidth_kclass, class_request_pmfs
+from repro.core.priority import (
+    DISCIPLINES,
+    crossbar_tenure_bandwidth,
+    cumulative_weights,
+    effective_bandwidth,
+    monotone_class_split,
+    proportional_split,
+    validate_class_weights,
+    validate_tenure,
+)
 from repro.core.request_models import RequestModel
 from repro.exceptions import ConfigurationError, ModelError
 from repro.obs.metrics import get_registry
@@ -55,6 +65,8 @@ __all__ = [
     "BusProfile",
     "valid_bus_counts",
     "scheme_bus_profile",
+    "PriorityProfile",
+    "priority_class_profile",
     "GridCell",
     "evaluate_cells",
 ]
@@ -504,6 +516,23 @@ def _scheme_bus_profile(
             f"model addresses {model.n_memories} modules, network has "
             f"{n_memories}"
         )
+    # Arbitration knobs ride along in network_kwargs (the service and
+    # the sweep fabric thread them through verbatim) but are consumed
+    # here, before the batchable-kwargs check: class weights never
+    # change the work-conserving *total* bandwidth, and tenure routes
+    # to the fixed-point approximation layer.
+    network_kwargs = dict(network_kwargs)
+    class_weights = network_kwargs.pop("class_weights", None)
+    if class_weights is not None:
+        validate_class_weights(class_weights)
+    tenure = network_kwargs.pop("tenure", None)
+    if tenure is not None:
+        tenure = validate_tenure(tenure, "geometric")
+        if tenure != 1.0:
+            return _tenure_profile(
+                scheme, n_processors, n_memories, bus_counts, model,
+                tenure, **network_kwargs,
+            )
     batchable = _BATCHABLE_KWARGS.get(scheme)
     if batchable is None or set(network_kwargs) - batchable:
         return _fallback_profile(
@@ -611,6 +640,180 @@ def _scheme_bus_profile(
         )
         profile.values[b] = bandwidth_kclass(sizes, b, request)
     return profile
+
+
+# ----------------------------------------------------------------------
+# Priority / burst-tenure approximation layer
+# ----------------------------------------------------------------------
+
+
+def _tenure_profile(
+    scheme: str,
+    n_processors: int,
+    n_memories: int,
+    bus_counts: Sequence[int],
+    model: RequestModel,
+    tenure: float,
+    **network_kwargs,
+) -> BusProfile:
+    """Effective bandwidth under mean tenure ``L`` per bus count.
+
+    The crossbar has no bus contention, so tenure only throttles each
+    module's renewal rate (:func:`crossbar_tenure_bandwidth`).  Every
+    bus-limited scheme instead solves the free-bus fixed point
+    ``T = f(B - (L - 1) T)`` (:func:`effective_bandwidth`) on the
+    closed-form profile ``f``, evaluated over *all* feasible counts up
+    to the largest requested one so the interpolation has support.
+    """
+    base = _scheme_bus_profile(
+        scheme, n_processors, n_memories, bus_counts, model,
+        **network_kwargs,
+    )
+    if not base.values:
+        return base
+    if scheme == "crossbar":
+        xs = model.module_request_probabilities()
+        value = crossbar_tenure_bandwidth(
+            [float(v) for v in xs], tenure
+        )
+        base.values = {b: value for b in base.values}
+        return base
+    support = _scheme_bus_profile(
+        scheme,
+        n_processors,
+        n_memories,
+        list(range(1, max(base.values) + 1)),
+        model,
+        **network_kwargs,
+    )
+    base.values = {
+        b: effective_bandwidth(support.values, b, tenure)
+        for b in base.values
+    }
+    return base
+
+
+@dataclasses.dataclass(frozen=True)
+class PriorityProfile:
+    """Per-class analytic bandwidth of one ``(scheme, B)`` cell.
+
+    Attributes
+    ----------
+    n_buses:
+        The evaluated bus count.
+    discipline:
+        The arbitration discipline the split models.
+    class_weights:
+        The criticality class mix.
+    tenure:
+        Mean burst length ``L``.
+    total:
+        Class-blind effective bandwidth (grant starts per cycle) —
+        identical to :func:`scheme_bus_profile`'s value for the same
+        knobs, since class weights never change a work-conserving
+        total.
+    per_class:
+        Per-class bandwidths summing to :attr:`total` exactly.
+    effective_buses:
+        ``B - (L - 1) * total`` — buses free for new grants on average
+        (``B`` for the crossbar, which has no bus contention).
+    """
+
+    scheme: str
+    n_buses: int
+    discipline: str
+    class_weights: tuple[float, ...]
+    tenure: float
+    total: float
+    per_class: tuple[float, ...]
+    effective_buses: float
+
+
+def priority_class_profile(
+    scheme: str,
+    n_processors: int,
+    n_memories: int,
+    n_buses: int,
+    model: RequestModel,
+    discipline: str = "rr",
+    class_weights: Sequence[float] = (1.0,),
+    tenure: float = 1.0,
+    **network_kwargs,
+) -> PriorityProfile:
+    """Analytic per-class bandwidth for one cell under a discipline.
+
+    Under ``"strict"`` priority, classes ``0..c`` together preempt all
+    lower traffic, so their joint bandwidth is the base model *thinned*
+    to their cumulative weight (``model.with_rate(r * W_c)``) evaluated
+    through the same tenure-aware dispatch; per-class shares are the
+    telescoping differences (:func:`monotone_class_split`), with the top
+    cumulative class pinned to the exact unthinned total so the split
+    sums to it bit-for-bit.  The class-blind disciplines (``"rr"``,
+    ``"wrr"``, ``"proc"``) serve classes in proportion to their traffic
+    in expectation (:func:`proportional_split`) — ``"wrr"``'s bias only
+    materializes in overload, which the approximation ignores.
+
+    A single class at unit tenure returns the eq. 1-12 value unchanged:
+    the differential wall pins this against the golden tables.
+    """
+    if discipline not in DISCIPLINES:
+        raise ConfigurationError(
+            f"discipline must be one of {DISCIPLINES}, got {discipline!r}"
+        )
+    weights = validate_class_weights(class_weights)
+    tenure = validate_tenure(tenure, "geometric")
+    profile = scheme_bus_profile(
+        scheme,
+        n_processors,
+        n_memories,
+        [n_buses],
+        model,
+        class_weights=weights,
+        tenure=tenure,
+        **network_kwargs,
+    )
+    if n_buses not in profile.values:
+        reason = (
+            profile.skipped[0].reason
+            if profile.skipped
+            else f"B={n_buses} is not feasible for scheme {scheme!r}"
+        )
+        raise ConfigurationError(reason)
+    total = profile.values[n_buses]
+    if scheme == "crossbar":
+        effective_buses = float(n_buses)
+    else:
+        effective_buses = n_buses - (tenure - 1.0) * total
+    if discipline == "strict":
+        cumulative_values: list[float] = []
+        for cum in cumulative_weights(weights)[:-1]:
+            thinned = model.with_rate(model.rate * cum)
+            sub = scheme_bus_profile(
+                scheme,
+                n_processors,
+                n_memories,
+                [n_buses],
+                thinned,
+                class_weights=weights,
+                tenure=tenure,
+                **network_kwargs,
+            )
+            cumulative_values.append(sub.values[n_buses])
+        per_class = monotone_class_split(
+            cumulative_values + [total], total
+        )
+    else:
+        per_class = proportional_split(weights, total)
+    return PriorityProfile(
+        scheme=scheme,
+        n_buses=int(n_buses),
+        discipline=discipline,
+        class_weights=weights,
+        tenure=tenure,
+        total=float(total),
+        per_class=per_class,
+        effective_buses=float(effective_buses),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -11,8 +11,14 @@ from __future__ import annotations
 from repro.arbitration.base import BusAssignmentPolicy
 from repro.arbitration.bus_arbiter import (
     CrossbarAssignment,
+    GrantScheduler,
     GroupedBusAssignment,
     MatchingBusAssignment,
+    PriorityBusPolicy,
+    PriorityFullAssignment,
+    PriorityGroupedAssignment,
+    PriorityKClassAssignment,
+    PrioritySingleAssignment,
     RandomBusAssignment,
     RoundRobinBusAssignment,
     SingleBusAssignment,
@@ -21,7 +27,11 @@ from repro.arbitration.kclass_assignment import KClassBusAssignment
 from repro.arbitration.memory_arbiter import (
     MemoryArbiter,
     resolve_memory_contention,
+    resolve_prioritized,
+    stage_one_composite,
 )
+from repro.core.priority import ArbitrationSpec
+from repro.exceptions import SimulationError
 from repro.topology import (
     CrossbarNetwork,
     FullBusMemoryNetwork,
@@ -43,6 +53,16 @@ __all__ = [
     "MemoryArbiter",
     "resolve_memory_contention",
     "assignment_for",
+    "ArbitrationSpec",
+    "GrantScheduler",
+    "PriorityBusPolicy",
+    "PriorityFullAssignment",
+    "PriorityGroupedAssignment",
+    "PrioritySingleAssignment",
+    "PriorityKClassAssignment",
+    "stage_one_composite",
+    "resolve_prioritized",
+    "priority_assignment_for",
 ]
 
 
@@ -69,3 +89,39 @@ def assignment_for(network: MultipleBusNetwork) -> BusAssignmentPolicy:
     if isinstance(network, FullBusMemoryNetwork):
         return RoundRobinBusAssignment(network.n_memories, network.n_buses)
     return MatchingBusAssignment(network.memory_bus_matrix())
+
+
+def priority_assignment_for(
+    network: MultipleBusNetwork, spec: ArbitrationSpec
+) -> PriorityBusPolicy:
+    """Return the criticality-aware stage-two policy for a topology.
+
+    Mirrors :func:`assignment_for`; crossbars share the full-connection
+    policy since every requested module has its own path.  Topologies
+    without a priority counterpart (e.g. fault-degraded matchings)
+    raise :class:`~repro.exceptions.SimulationError`.
+    """
+    if isinstance(network, CrossbarNetwork):
+        return PriorityFullAssignment(
+            network.n_memories, network.n_buses, spec
+        )
+    if isinstance(network, KClassPartialBusNetwork):
+        return PriorityKClassAssignment(
+            network.class_of_module, network.n_buses, spec
+        )
+    if isinstance(network, PartialBusNetwork):
+        return PriorityGroupedAssignment(
+            network.n_memories, network.n_buses, network.n_groups, spec
+        )
+    if isinstance(network, SingleBusMemoryNetwork):
+        return PrioritySingleAssignment(
+            network.bus_of_module, network.n_buses, spec
+        )
+    if isinstance(network, FullBusMemoryNetwork):
+        return PriorityFullAssignment(
+            network.n_memories, network.n_buses, spec
+        )
+    raise SimulationError(
+        "priority arbitration is not defined for "
+        f"{type(network).__name__}"
+    )

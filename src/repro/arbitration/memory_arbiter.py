@@ -6,6 +6,13 @@ it (Section II-A).  The identity of the winner does not change the memory
 bandwidth — one request per requested module survives either way — but it
 determines *which processor's* request succeeds, which the fairness
 metrics and trace records consume.
+
+The priority extension keeps stage one a per-module argmax but over
+*composite* keys (:func:`stage_one_composite`): a deterministic function
+of each request's uniform key, criticality class and processor index
+that encodes the arbitration discipline.  Both simulation backends
+compute the same composite array with the same NumPy arithmetic, so the
+per-module winner is bit-identical between them.
 """
 
 from __future__ import annotations
@@ -14,9 +21,15 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.priority import ArbitrationSpec
 from repro.exceptions import SimulationError
 
-__all__ = ["MemoryArbiter", "resolve_memory_contention"]
+__all__ = [
+    "MemoryArbiter",
+    "resolve_memory_contention",
+    "stage_one_composite",
+    "resolve_prioritized",
+]
 
 
 class MemoryArbiter:
@@ -83,3 +96,63 @@ def resolve_memory_contention(
         if winner is not None:
             winners[module] = winner
     return winners
+
+
+def stage_one_composite(
+    keys: np.ndarray, labels: np.ndarray, spec: ArbitrationSpec
+) -> np.ndarray:
+    """Composite stage-one keys encoding ``spec``'s discipline.
+
+    ``keys`` holds one uniform draw per processor (last axis length
+    ``N``; any leading cycle axes broadcast through) and ``labels`` the
+    per-request criticality class.  The per-module winner is the
+    requester with the *maximum* composite:
+
+    * ``"rr"`` — the raw key: uniform among requesters, the paper's
+      random arbiter.
+    * ``"proc"`` — ``N - 1 - p``: the lowest processor index always
+      wins (static processor-ordered priority).
+    * ``"strict"`` — ``(K - class) + key``: classes separate by at
+      least 1 while keys stay in ``[0, 1)``, so a more critical request
+      always beats a less critical one and ties within a class stay
+      uniform.
+    * ``"wrr"`` — ``key ** (1 / w[class])``: requester ``i`` wins with
+      probability ``w_i / sum w`` (the maximum of independent
+      ``U^(1/w)`` variables), a weighted lottery.
+    """
+    keys = np.asarray(keys, dtype=float)
+    if spec.discipline == "proc":
+        n = keys.shape[-1]
+        return np.broadcast_to(
+            np.arange(n - 1, -1, -1, dtype=float), keys.shape
+        )
+    if spec.discipline == "strict":
+        return (spec.n_classes - np.asarray(labels)) + keys
+    if spec.discipline == "wrr":
+        weights = np.asarray(spec.resolved_grant_weights(), dtype=float)
+        return keys ** (1.0 / weights[np.asarray(labels)])
+    return keys
+
+
+def resolve_prioritized(
+    choices: Iterable[tuple[int, int]],
+    n_memories: int,
+    composite: np.ndarray,
+) -> dict[int, int]:
+    """Stage one under composite keys: ``{module: winning processor}``.
+
+    The loop backend's counterpart of the vectorized per-module argmax;
+    ties break toward the higher processor index, matching the
+    vectorized backend's last-writer-wins scatter.
+    """
+    per_module: dict[int, list[int]] = {}
+    for processor, module in choices:
+        if not 0 <= module < n_memories:
+            raise SimulationError(
+                f"request for module {module} outside [0, {n_memories})"
+            )
+        per_module.setdefault(module, []).append(processor)
+    return {
+        module: max(requesters, key=lambda p: (composite[p], p))
+        for module, requesters in per_module.items()
+    }

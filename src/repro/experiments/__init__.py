@@ -17,6 +17,7 @@ from repro.exceptions import ExperimentError
 from repro.experiments import (
     ablation,
     approximation,
+    arbitration,
     availability,
     claims,
     figures,
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "resubmission": resubmission.run,
     "approximation": approximation.run,
     "availability": availability.run,
+    "arbitration": arbitration.run,
 }
 
 

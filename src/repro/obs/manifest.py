@@ -212,6 +212,22 @@ def _surfaces_section(registry: MetricsRegistry) -> dict[str, object]:
     }
 
 
+def _arbitration_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Priority-arbitration digest: runs by discipline, per-class grants."""
+    return {
+        "runs": _labelled_totals(registry, "arbitration.runs", "discipline"),
+        "class_grants": _labelled_totals(
+            registry, "arbitration.class_grants", "cls"
+        ),
+        "starved_cycles": _labelled_totals(
+            registry, "arbitration.starved_cycles", "cls"
+        ),
+        "blocked_tenure": int(
+            registry.counter_total("arbitration.blocked_tenure")
+        ),
+    }
+
+
 def _fabric_section(registry: MetricsRegistry) -> dict[str, object]:
     """Distributed-fabric digest: shard map, deaths, retries, fallbacks.
 
@@ -295,6 +311,7 @@ def build_manifest(
         "faults": _faults_section(registry),
         "service": _service_section(registry),
         "surfaces": _surfaces_section(registry),
+        "arbitration": _arbitration_section(registry),
         "fabric": _fabric_section(registry),
         "counters": _counters_section(registry),
         "timings": _timings_section(registry),

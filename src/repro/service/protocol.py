@@ -22,8 +22,16 @@ The JSON schema (``/query``; ``/sweep`` replaces ``"B"`` with a list)::
       "model": "unif" | "hier",
       "hierarchy": {"clusters": 4, "fractions": [0.6, 0.3, 0.1]},
       "n_groups": 2,            # partial only
-      "class_sizes": [8, 8]     # kclass only
+      "class_sizes": [8, 8],    # kclass only
+      "classes": [0.25, 0.75],  # criticality class mix (any scheme)
+      "tenure": 4               # mean burst length L >= 1 (any scheme)
     }
+
+``classes`` and ``tenure`` thread through to the analytic priority
+layer (:mod:`repro.core.priority`) as network kwargs; their degenerate
+values (a single class, ``tenure == 1``) are normalized *away* at parse
+time, so a query spelling them out hashes — and therefore caches and
+coalesces — identically to one that omits them.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ import math
 from collections.abc import Mapping
 
 from repro.core.hierarchy import paper_two_level_model
+from repro.core.priority import validate_class_weights, validate_tenure
 from repro.core.request_models import RequestModel, UniformRequestModel
 from repro.exceptions import (
     AdmissionError,
@@ -64,9 +73,14 @@ _MODEL_ALIASES = {
 #: Query fields that become network kwargs, with their target scheme.
 _NETWORK_FIELDS = {"n_groups": "partial", "class_sizes": "kclass"}
 
+#: Arbitration knobs accepted for every scheme; degenerate values are
+#: normalized away so they never perturb cache keys.
+_ARBITRATION_FIELDS = ("classes", "tenure")
+
 _KNOWN_FIELDS = frozenset(
     {"scheme", "N", "M", "B", "bus_counts", "r", "model", "hierarchy"}
     | set(_NETWORK_FIELDS)
+    | set(_ARBITRATION_FIELDS)
 )
 
 
@@ -283,6 +297,34 @@ def _parse_network_kwargs(
     return tuple(kwargs)
 
 
+def _parse_arbitration_kwargs(
+    payload: Mapping, n_processors: int
+) -> tuple[tuple[str, object], ...]:
+    """Validate the ``classes`` / ``tenure`` knobs into network kwargs.
+
+    Rejections ride the usual typed path
+    (:class:`~repro.exceptions.ConfigurationError`), so a malformed knob
+    can never reach — let alone poison — the engine's canonical-key
+    cache or coalescing map.  Degenerate values (one class, unit
+    tenure) are dropped so equivalent queries hash equal.
+    """
+    kwargs: list[tuple[str, object]] = []
+    if "classes" in payload:
+        weights = validate_class_weights(payload["classes"])
+        if len(weights) > n_processors:
+            raise ConfigurationError(
+                f"field 'classes' lists {len(weights)} criticality "
+                f"classes for N={n_processors} processors"
+            )
+        if len(weights) > 1:
+            kwargs.append(("class_weights", weights))
+    if "tenure" in payload:
+        tenure = validate_tenure(payload["tenure"], "geometric")
+        if tenure != 1.0:
+            kwargs.append(("tenure", tenure))
+    return tuple(kwargs)
+
+
 def parse_query(
     payload: object,
     sweep: bool = False,
@@ -341,8 +383,11 @@ def parse_query(
             "field 'hierarchy' only applies when model is 'hier'"
         )
 
-    network_kwargs = _parse_network_kwargs(
-        payload, scheme, n_memories, limits
+    network_kwargs = tuple(
+        sorted(
+            _parse_network_kwargs(payload, scheme, n_memories, limits)
+            + _parse_arbitration_kwargs(payload, n_processors)
+        )
     )
     return Query(
         scheme=scheme,

@@ -11,6 +11,12 @@ from repro.simulation.metrics import (
     batch_means_ci95,
     result_from_arrays,
 )
+from repro.simulation.priority import (
+    PrioritySimulationResult,
+    derive_priority_streams,
+    run_priority_loop,
+    run_priority_vectorized,
+)
 from repro.simulation.resubmission import (
     ResubmissionResult,
     ResubmissionSimulator,
@@ -32,6 +38,10 @@ __all__ = [
     "result_from_arrays",
     "ResubmissionSimulator",
     "ResubmissionResult",
+    "PrioritySimulationResult",
+    "derive_priority_streams",
+    "run_priority_loop",
+    "run_priority_vectorized",
     "BatchTrace",
     "run_vectorized",
     "check_batch_invariants",

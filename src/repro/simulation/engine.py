@@ -38,13 +38,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arbitration import BusAssignmentPolicy, assignment_for
+from repro.arbitration import (
+    BusAssignmentPolicy,
+    assignment_for,
+    priority_assignment_for,
+)
 from repro.arbitration.memory_arbiter import resolve_memory_contention
+from repro.core.priority import ArbitrationSpec
 from repro.core.request_models import RequestModel
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.obs.metrics import get_registry, telemetry_enabled
 from repro.obs.spans import span
 from repro.simulation.metrics import MetricsCollector, SimulationResult
+from repro.simulation.priority import (
+    PrioritySimulationResult,
+    derive_priority_streams,
+    run_priority_loop,
+    run_priority_vectorized,
+)
 from repro.simulation.vectorized import (
     run_vectorized,
     vectorization_unsupported_reason,
@@ -102,6 +113,13 @@ class MultiprocessorSimulator:
         module docstring.  ``"vectorized"`` raises
         :class:`~repro.exceptions.SimulationError` when the
         workload/topology/policy combination is not vectorizable.
+    spec:
+        Optional :class:`~repro.core.priority.ArbitrationSpec` enabling
+        criticality classes and/or burst tenure.  With a spec,
+        :meth:`run` dispatches to the priority backends
+        (:mod:`repro.simulation.priority`) and returns a
+        :class:`~repro.simulation.priority.PrioritySimulationResult`;
+        a custom ``policy`` is incompatible with a spec.
     """
 
     def __init__(
@@ -111,6 +129,7 @@ class MultiprocessorSimulator:
         policy: BusAssignmentPolicy | None = None,
         seed: int | np.random.SeedSequence | None = None,
         backend: str = "auto",
+        spec: ArbitrationSpec | None = None,
     ):
         if isinstance(workload, RequestModel):
             workload = ModelRequestGenerator(workload)
@@ -129,6 +148,22 @@ class MultiprocessorSimulator:
                 f"unknown backend {backend!r}; expected one of {_BACKENDS}"
             )
         custom_policy = policy is not None
+        if spec is not None:
+            if custom_policy:
+                raise SimulationError(
+                    "a custom stage-two policy cannot be combined with an "
+                    "ArbitrationSpec (priority arbitration provides its "
+                    "own policies)"
+                )
+            if spec.n_classes > network.n_processors:
+                raise SimulationError(
+                    f"{spec.n_classes} criticality classes for "
+                    f"{network.n_processors} processors"
+                )
+            # Build (and discard) the priority policy eagerly so
+            # unsupported topologies fail at construction, like the
+            # baseline path does.
+            priority_assignment_for(network, spec)
         if policy is None:
             policy = assignment_for(network)
         if policy.n_buses != network.n_buses:
@@ -174,6 +209,7 @@ class MultiprocessorSimulator:
         self._policy = policy
         self._seed = seed
         self._backend = backend
+        self._spec = spec
 
     @property
     def network(self) -> MultipleBusNetwork:
@@ -190,7 +226,14 @@ class MultiprocessorSimulator:
         """The resolved execution backend: ``"loop"`` or ``"vectorized"``."""
         return self._backend
 
-    def run(self, n_cycles: int, warmup: int = 0) -> SimulationResult:
+    @property
+    def spec(self) -> ArbitrationSpec | None:
+        """The arbitration spec, or ``None`` for the paper's model."""
+        return self._spec
+
+    def run(
+        self, n_cycles: int, warmup: int = 0
+    ) -> SimulationResult | PrioritySimulationResult:
         """Simulate ``warmup + n_cycles`` cycles and return statistics.
 
         Warm-up cycles exercise the arbiters (advancing round-robin
@@ -220,11 +263,26 @@ class MultiprocessorSimulator:
                 ),
                 spawn_key=[int(k) for k in root.spawn_key],
             )
-        generation_rng, arbitration_rng = derive_streams(root)
         with span(
             "sim.run", backend=self._backend, scheme=self._network.scheme
         ):
-            if self._backend == "vectorized":
+            if self._spec is not None:
+                streams = derive_priority_streams(root)
+                runner = (
+                    run_priority_vectorized
+                    if self._backend == "vectorized"
+                    else run_priority_loop
+                )
+                result = runner(
+                    self._network,
+                    self._generator,
+                    self._spec,
+                    n_cycles,
+                    warmup,
+                    *streams,
+                )
+            elif self._backend == "vectorized":
+                generation_rng, arbitration_rng = derive_streams(root)
                 result = run_vectorized(
                     self._network,
                     self._generator,
@@ -234,25 +292,50 @@ class MultiprocessorSimulator:
                     arbitration_rng,
                 )
             else:
+                generation_rng, arbitration_rng = derive_streams(root)
                 result = self._run_loop(
                     n_cycles, warmup, generation_rng, arbitration_rng
                 )
         if telemetry_enabled():
             registry = get_registry()
-            registry.increment(
-                "sim.cycles", result.n_cycles, backend=self._backend
+            totals = (
+                result.total
+                if isinstance(result, PrioritySimulationResult)
+                else result
             )
-            if result.grant_counts is not None:
+            registry.increment(
+                "sim.cycles", totals.n_cycles, backend=self._backend
+            )
+            if totals.grant_counts is not None:
                 registry.increment(
                     "sim.grants",
-                    int(sum(result.grant_counts)),
+                    int(sum(totals.grant_counts)),
                     backend=self._backend,
                 )
             registry.increment(
                 "sim.requests",
-                int(round(result.requests_per_cycle * result.n_cycles)),
+                int(round(totals.requests_per_cycle * totals.n_cycles)),
                 backend=self._backend,
             )
+            if isinstance(result, PrioritySimulationResult):
+                registry.increment(
+                    "arbitration.runs", discipline=result.discipline
+                )
+                for cls in range(result.n_classes):
+                    registry.increment(
+                        "arbitration.class_grants",
+                        int(sum(result.per_class_grant_counts[cls])),
+                        cls=cls,
+                    )
+                    registry.increment(
+                        "arbitration.starved_cycles",
+                        int(result.per_class_starved_cycles[cls]),
+                        cls=cls,
+                    )
+                registry.increment(
+                    "arbitration.blocked_tenure",
+                    int(sum(result.per_class_blocked_tenure)),
+                )
         return result
 
     def _run_loop(
@@ -318,7 +401,8 @@ def simulate_bandwidth(
     n_cycles: int = 20_000,
     seed: int | np.random.SeedSequence | None = 0,
     backend: str = "auto",
-) -> SimulationResult:
+    spec: ArbitrationSpec | None = None,
+) -> SimulationResult | PrioritySimulationResult:
     """One-call convenience wrapper around :class:`MultiprocessorSimulator`.
 
     .. warning::
@@ -339,5 +423,5 @@ def simulate_bandwidth(
     True
     """
     return MultiprocessorSimulator(
-        network, workload, seed=seed, backend=backend
+        network, workload, seed=seed, backend=backend, spec=spec
     ).run(n_cycles)

@@ -75,5 +75,31 @@ def test_registry_complete():
     assert set(EXPERIMENTS) == {
         "table1", "table2", "table3", "table4", "table5", "table6",
         "figures", "claims", "validation", "ablation", "nxm",
-        "resubmission", "approximation", "availability",
+        "resubmission", "approximation", "availability", "arbitration",
     }
+
+
+def test_arbitration_experiment_covers_all_schemes_and_disciplines():
+    result = run_experiment("arbitration", n_cycles=400)
+    assert result.summary().endswith("no paper cells")
+    assert {r["scheme"] for r in result.records} == {
+        "full", "partial", "single", "kclass", "crossbar"
+    }
+    assert {r["discipline"] for r in result.records} == {
+        "rr", "strict", "wrr", "proc"
+    }
+    # Two classes per (scheme, discipline) row group, every metric finite.
+    assert len(result.records) == 5 * 4 * 2
+    for record in result.records:
+        assert record["sim"] >= 0.0
+        assert record["analytic"] >= 0.0
+        assert 0.0 <= record["acceptance"] <= 1.0
+    # Within each scheme, strict priority weakly favors class 0 over the
+    # class-blind round-robin analytic split.
+    for scheme in ("full", "crossbar"):
+        by = {
+            (r["discipline"], r["class"]): r["analytic"]
+            for r in result.records
+            if r["scheme"] == scheme
+        }
+        assert by[("strict", 0)] >= by[("rr", 0)] - 1e-9

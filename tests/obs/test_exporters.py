@@ -119,6 +119,31 @@ class TestManifest:
             },
         ]
 
+    def test_arbitration_section_digests_priority_counters(self):
+        registry = MetricsRegistry()
+        registry.increment("arbitration.runs", 2, discipline="strict")
+        registry.increment("arbitration.runs", 1, discipline="rr")
+        registry.increment("arbitration.class_grants", 30, cls="0")
+        registry.increment("arbitration.class_grants", 70, cls="1")
+        registry.increment("arbitration.starved_cycles", 5, cls="1")
+        registry.increment("arbitration.blocked_tenure", 12)
+        manifest = build_manifest(registry)
+        assert manifest["arbitration"] == {
+            "runs": {"rr": 1, "strict": 2},
+            "class_grants": {"0": 30, "1": 70},
+            "starved_cycles": {"1": 5},
+            "blocked_tenure": 12,
+        }
+
+    def test_arbitration_section_is_empty_for_classblind_runs(self):
+        manifest = build_manifest(MetricsRegistry())
+        assert manifest["arbitration"] == {
+            "runs": {},
+            "class_grants": {},
+            "starved_cycles": {},
+            "blocked_tenure": 0,
+        }
+
     def test_backend_section_collects_runs_and_fallbacks(self):
         registry = MetricsRegistry()
         registry.increment("sim.backend", 2, backend="vectorized")

@@ -1,0 +1,149 @@
+"""Property-based invariants of the priority/tenure analytic layer.
+
+Hypothesis sweeps machine sizes, bus counts, request rates, class mixes
+and burst lengths across all five connection schemes and asserts the
+structural laws any criticality-aware split of the paper's bandwidth
+must obey:
+
+* per-class bandwidths are non-negative and sum exactly to the total;
+* the total respects the physical ceilings ``min(B, M, N * r)`` even
+  under burst tenure (holding a bus longer cannot mint bandwidth);
+* the strict-priority top class weakly dominates its fair (FCFS /
+  proportional) share — priority can only help the critical class;
+* bandwidth weakly decreases in the mean tenure ``L`` (longer bursts
+  occupy buses, never free them).
+
+The suite runs under the derandomized "ci" profile registered in
+``tests/conftest.py``, so failures replay identically in CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.batch import priority_class_profile
+from repro.core.request_models import UniformRequestModel
+
+TOL = 1e-9
+
+BUS_SCHEMES = ("full", "single", "partial", "kclass")
+SCHEMES = BUS_SCHEMES + ("crossbar",)
+
+# Power-of-two machines keep every scheme structurally valid (see
+# tests/properties/test_bandwidth_properties.py).
+n_exponents = st.integers(min_value=3, max_value=5)  # N = M in {8, 16, 32}
+rates = st.floats(min_value=0.05, max_value=1.0)
+tenures = st.floats(min_value=1.0, max_value=8.0)
+disciplines = st.sampled_from(("rr", "strict", "wrr", "proc"))
+
+
+@st.composite
+def class_mixes(draw):
+    """2-4 positive class weights normalized to sum exactly to one."""
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.0),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    total = sum(raw)
+    weights = [w / total for w in raw]
+    weights[-1] = 1.0 - sum(weights[:-1])
+    return tuple(weights)
+
+
+def _bus_exponent(scheme: str, n_exp: int) -> st.SearchStrategy[int]:
+    low = 1 if scheme == "partial" else 0
+    return st.integers(min_value=low, max_value=n_exp)
+
+
+def _profile(scheme, n, n_buses, rate, **kwargs):
+    model = UniformRequestModel(n, n, rate=rate)
+    return priority_class_profile(scheme, n, n, n_buses, model, **kwargs)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(
+    n_exp=n_exponents,
+    data=st.data(),
+    rate=rates,
+    weights=class_mixes(),
+    discipline=disciplines,
+    tenure=tenures,
+)
+def test_per_class_bandwidths_sum_to_total(
+    scheme, n_exp, data, rate, weights, discipline, tenure
+):
+    n = 2**n_exp
+    b = n if scheme == "crossbar" else 2 ** data.draw(
+        _bus_exponent(scheme, n_exp), label="B exponent"
+    )
+    profile = _profile(
+        scheme, n, b, rate,
+        discipline=discipline, class_weights=weights, tenure=tenure,
+    )
+    assert all(v >= 0.0 for v in profile.per_class)
+    assert sum(profile.per_class) == pytest.approx(profile.total, abs=TOL)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(
+    n_exp=n_exponents,
+    data=st.data(),
+    rate=rates,
+    tenure=tenures,
+)
+def test_total_respects_physical_ceilings(scheme, n_exp, data, rate, tenure):
+    n = 2**n_exp
+    b = n if scheme == "crossbar" else 2 ** data.draw(
+        _bus_exponent(scheme, n_exp), label="B exponent"
+    )
+    profile = _profile(scheme, n, b, rate, tenure=tenure)
+    assert profile.total <= min(b, n, n * rate) + TOL
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(
+    n_exp=n_exponents,
+    data=st.data(),
+    rate=rates,
+    weights=class_mixes(),
+)
+def test_strict_top_class_dominates_fair_share(
+    scheme, n_exp, data, rate, weights
+):
+    n = 2**n_exp
+    b = n if scheme == "crossbar" else 2 ** data.draw(
+        _bus_exponent(scheme, n_exp), label="B exponent"
+    )
+    strict = _profile(
+        scheme, n, b, rate, discipline="strict", class_weights=weights
+    )
+    fair = _profile(
+        scheme, n, b, rate, discipline="rr", class_weights=weights
+    )
+    assert strict.total == pytest.approx(fair.total, abs=TOL)
+    assert strict.per_class[0] >= fair.per_class[0] - TOL
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@given(
+    n_exp=n_exponents,
+    data=st.data(),
+    rate=rates,
+    tenure_pair=st.tuples(tenures, tenures),
+)
+def test_bandwidth_weakly_decreases_in_tenure(
+    scheme, n_exp, data, rate, tenure_pair
+):
+    n = 2**n_exp
+    b = n if scheme == "crossbar" else 2 ** data.draw(
+        _bus_exponent(scheme, n_exp), label="B exponent"
+    )
+    l_low, l_high = sorted(tenure_pair)
+    short = _profile(scheme, n, b, rate, tenure=l_low)
+    long = _profile(scheme, n, b, rate, tenure=l_high)
+    assert long.total <= short.total + TOL
+    assert long.effective_buses <= short.effective_buses + TOL

@@ -279,7 +279,7 @@ _JSON = st.recursive(
 
 _FIELDS = st.sampled_from(
     ["scheme", "N", "M", "B", "r", "model", "hierarchy", "n_groups",
-     "class_sizes"]
+     "class_sizes", "classes", "tenure"]
 )
 
 

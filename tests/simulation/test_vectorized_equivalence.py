@@ -17,8 +17,10 @@ import pytest
 
 from repro.analysis.sweep import paper_model_pair
 from repro.arbitration import assignment_for
+from repro.core.priority import ArbitrationSpec
 from repro.exceptions import SimulationError
 from repro.simulation.engine import MultiprocessorSimulator, derive_streams
+from repro.simulation.priority import derive_priority_streams
 from repro.simulation.vectorized import (
     check_batch_invariants,
     run_vectorized,
@@ -191,3 +193,78 @@ def test_explicit_vectorized_rejects_unsupported():
         MultiprocessorSimulator(
             _network("full", {}), generator, seed=1, backend="vectorized"
         )
+
+
+# Priority specs crossing class mixes, disciplines and both tenure
+# distributions; the equivalence contract is the same exact one as for
+# the class-blind backends, extended to the per-class arrays.
+_PRIORITY_SPECS = [
+    ArbitrationSpec(discipline="strict", class_weights=(0.25, 0.75),
+                    tenure=3.0),
+    ArbitrationSpec(discipline="wrr", class_weights=(0.5, 0.3, 0.2),
+                    tenure=2.5, tenure_dist="geometric"),
+    ArbitrationSpec(discipline="rr", tenure=4.0),
+    ArbitrationSpec(discipline="proc", class_weights=(0.1, 0.9),
+                    tenure=1.5, tenure_dist="geometric"),
+]
+
+
+def _priority_run(scheme, kwargs, model, spec, backend, warmup=0):
+    simulator = MultiprocessorSimulator(
+        _network(scheme, kwargs), model, seed=SEED, backend=backend,
+        spec=spec,
+    )
+    assert simulator.backend == backend
+    return simulator.run(CYCLES, warmup=warmup)
+
+
+@pytest.mark.parametrize(
+    "spec", _PRIORITY_SPECS, ids=lambda s: f"{s.discipline}-L{s.tenure}"
+)
+@pytest.mark.parametrize("scheme,kwargs", SCHEMES, ids=lambda v: str(v))
+def test_priority_backends_agree_exactly(scheme, kwargs, spec):
+    """Burst tenure + priority grants: identical per-class grant arrays."""
+    model = paper_model_pair(N, 1.0)["hier"]
+    loop = _priority_run(scheme, kwargs, model, spec, "loop")
+    vec = _priority_run(scheme, kwargs, model, spec, "vectorized")
+
+    assert loop.per_class_grant_counts == vec.per_class_grant_counts
+    assert loop.total.grant_counts == vec.total.grant_counts
+    assert loop.total.bandwidth == vec.total.bandwidth
+    assert loop.total.bus_utilization == vec.total.bus_utilization
+    assert loop.per_class_bandwidth == vec.per_class_bandwidth
+    assert loop.per_class_requests_per_cycle == (
+        vec.per_class_requests_per_cycle
+    )
+    assert loop.per_class_starved_cycles == vec.per_class_starved_cycles
+    assert loop.per_class_blocked_stage_one == (
+        vec.per_class_blocked_stage_one
+    )
+    assert loop.per_class_blocked_tenure == vec.per_class_blocked_tenure
+    assert loop.per_class_mean_grant_latency == (
+        vec.per_class_mean_grant_latency
+    )
+
+
+@pytest.mark.parametrize("scheme,kwargs", SCHEMES, ids=lambda v: str(v))
+def test_priority_backends_agree_with_warmup(scheme, kwargs):
+    model = paper_model_pair(N, 1.0)["unif"]
+    spec = ArbitrationSpec(
+        discipline="wrr", class_weights=(0.25, 0.75), tenure=2.0,
+        tenure_dist="geometric",
+    )
+    loop = _priority_run(scheme, kwargs, model, spec, "loop", warmup=100)
+    vec = _priority_run(
+        scheme, kwargs, model, spec, "vectorized", warmup=100
+    )
+    assert loop.per_class_grant_counts == vec.per_class_grant_counts
+    assert loop.total.bandwidth == vec.total.bandwidth
+
+
+def test_priority_request_stream_matches_baseline_streams():
+    """Priority stream derivation preserves the class-blind streams."""
+    root = 1234
+    gen_a, arb_a = derive_streams(root)
+    gen_b, arb_b, _cls, _ten = derive_priority_streams(root)
+    assert (gen_a.random(64) == gen_b.random(64)).all()
+    assert (arb_a.random(64) == arb_b.random(64)).all()
