@@ -79,7 +79,10 @@ from repro.core import (
 )
 from repro.exceptions import (
     AdmissionError,
+    BreakerOpenError,
+    ChaosError,
     ConfigurationError,
+    DeadlineExceededError,
     ExperimentError,
     FaultError,
     ModelError,
@@ -87,6 +90,7 @@ from repro.exceptions import (
     ReproError,
     RetryExhaustedError,
     ServiceError,
+    ServiceStoppingError,
     SimulationError,
 )
 from repro.faults import (
@@ -117,7 +121,18 @@ from repro.obs import (
     telemetry_enabled,
     write_manifest,
 )
-from repro.resilience import RetryPolicy, retry_call
+from repro.resilience import (
+    BreakerPolicy,
+    BrownoutGovernor,
+    BrownoutPolicy,
+    CircuitBreaker,
+    Deadline,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    chaos_plan,
+    retry_call,
+)
 from repro.service import (
     AdmissionController,
     BandwidthService,
@@ -169,6 +184,10 @@ __all__ = [
     "ServiceError",
     "QueryTooLargeError",
     "AdmissionError",
+    "BreakerOpenError",
+    "ChaosError",
+    "DeadlineExceededError",
+    "ServiceStoppingError",
     # request models
     "RequestModel",
     "MatrixRequestModel",
@@ -217,6 +236,14 @@ __all__ = [
     # resilience
     "RetryPolicy",
     "retry_call",
+    "Deadline",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "BrownoutPolicy",
+    "BrownoutGovernor",
+    "FaultPlan",
+    "FaultRule",
+    "chaos_plan",
     # service
     "Query",
     "ServiceLimits",

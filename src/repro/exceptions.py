@@ -93,6 +93,61 @@ class AdmissionError(ServiceError):
         self.reason = reason
 
 
+class DeadlineExceededError(ServiceError):
+    """A request ran out of its end-to-end latency budget.
+
+    Raised wherever a :class:`repro.resilience.deadline.Deadline` is
+    checked: the query engine before/while computing, the fabric
+    coordinator while dispatching or re-sharding, and the surface
+    refresher around a materialization.  Maps to a structured HTTP 504
+    envelope in the front-end — never a raw traceback.  ``site`` names
+    the checkpoint that observed the expiry and ``budget_ms`` the
+    original budget.
+    """
+
+    def __init__(self, message: str, site: str = "",
+                 budget_ms: float | None = None):
+        super().__init__(message)
+        self.site = site
+        self.budget_ms = budget_ms
+
+
+class BreakerOpenError(ServiceError):
+    """A circuit breaker refused a call because its dependency is down.
+
+    Raised by :meth:`repro.resilience.breaker.CircuitBreaker.call` (and
+    the guarded dispatch paths) while the breaker is open and no probe
+    is due.  Carries the breaker ``name`` and a deterministic
+    ``retry_after_seconds`` hint — the time until the next half-open
+    probe — which the HTTP front-end surfaces as a ``Retry-After``
+    header on the 503 envelope.
+    """
+
+    def __init__(self, message: str, name: str = "",
+                 retry_after_seconds: float = 0.0):
+        super().__init__(message)
+        self.name = name
+        self.retry_after_seconds = float(retry_after_seconds)
+
+
+class ServiceStoppingError(ServiceError):
+    """The service is shutting down and will not take or finish work.
+
+    Raised for new requests arriving after graceful shutdown began and
+    used to *complete* (rather than abandon) every in-flight coalesced
+    waiter.  Maps to a structured HTTP 503 envelope.
+    """
+
+
+class ChaosError(ReproError):
+    """A failure injected on purpose by an active chaos fault plan.
+
+    Raised by :func:`repro.resilience.chaos.inject` for ``error`` rules
+    so injected failures are distinguishable from organic ones in logs,
+    metrics and breaker accounting.
+    """
+
+
 class RetryExhaustedError(ReproError):
     """A retried operation kept failing through its whole retry budget.
 

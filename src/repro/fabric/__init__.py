@@ -32,6 +32,7 @@ crash/retry interleaving.
 from repro.fabric.coordinator import (
     FabricConfig,
     FabricCoordinator,
+    FabricLimits,
     FabricReport,
     fabric_simulated_sweep,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "build_job",
     "FabricConfig",
     "FabricCoordinator",
+    "FabricLimits",
     "FabricReport",
     "fabric_simulated_sweep",
 ]

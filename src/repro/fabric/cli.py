@@ -20,12 +20,18 @@ import json
 import sys
 import time
 
-from repro.exceptions import ConfigurationError
-from repro.fabric.coordinator import FabricConfig, FabricCoordinator
+from repro.exceptions import ConfigurationError, DeadlineExceededError
+from repro.fabric.coordinator import (
+    FabricConfig,
+    FabricCoordinator,
+    FabricLimits,
+)
 from repro.fabric.jobs import FabricJob
 from repro.obs.exporters import write_events_jsonl, write_prometheus
 from repro.obs.manifest import write_manifest
 from repro.obs.metrics import enable_telemetry
+from repro.resilience import chaos
+from repro.resilience.deadline import Deadline, deadline_from_env
 
 __all__ = ["build_parser", "parse_axis", "main"]
 
@@ -96,6 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="write manifest.json / events.jsonl / "
                         "metrics.prom into DIR")
+    parser.add_argument("--chaos-plan", metavar="FILE", default=None,
+                        help="install a deterministic fault-injection "
+                        "plan (JSON FaultPlan) for this run")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="end-to-end budget for the dispatch+gather "
+                        "phase; expiry is a structured error, not a hang "
+                        "(default: REPRO_DEADLINE_MS if set)")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5,
+                        help="seconds between worker heartbeats")
+    parser.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                        help="heartbeat silence after which a worker is "
+                        "declared dead and its cells re-sharded")
     parser.add_argument("--json", action="store_true",
                         help="emit records as JSON instead of a table")
     parser.add_argument("--quiet", action="store_true",
@@ -124,19 +142,47 @@ def main(argv: list[str] | None = None) -> int:
     }
     if args.M is not None:
         params["M"] = args.M
+    try:
+        limits = FabricLimits(
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+        )
+        plan = (
+            chaos.FaultPlan.from_file(args.chaos_plan)
+            if args.chaos_plan
+            else None
+        )
+    except ConfigurationError as exc:
+        print(f"repro-fabric: {exc}", file=sys.stderr)
+        return 2
     coordinator = FabricCoordinator(
         FabricJob(kind="sweep", params=params),
         FabricConfig(
-            n_workers=args.workers, arity=args.arity, codec=args.codec
+            n_workers=args.workers,
+            arity=args.arity,
+            codec=args.codec,
+            limits=limits,
         ),
         cache=args.cache,
     )
+    deadline = (
+        Deadline(args.deadline_ms)
+        if args.deadline_ms is not None
+        else deadline_from_env()
+    )
 
     registry = enable_telemetry() if args.telemetry else None
+    if plan is not None:
+        chaos.install_plan(plan)
     started = time.perf_counter()
     try:
-        report = coordinator.run()
+        report = coordinator.run(deadline=deadline)
+    except DeadlineExceededError as exc:
+        print(f"repro-fabric: deadline exceeded: {exc}", file=sys.stderr)
+        return 3
     finally:
+        if plan is not None:
+            chaos.uninstall_plan()
         if registry is not None:
             write_manifest(
                 registry,

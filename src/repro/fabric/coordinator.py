@@ -49,9 +49,13 @@ from repro.fabric.jobs import FabricJob, build_job
 from repro.fabric.worker import children_of, route_step, spawn_child, subtree_of
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
+from repro.resilience import chaos
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+from repro.resilience.deadline import ENV_DEADLINE_MS, Deadline
 from repro.resilience.retry import RetryPolicy
 
 __all__ = [
+    "FabricLimits",
     "FabricConfig",
     "FabricCoordinator",
     "FabricReport",
@@ -61,6 +65,66 @@ __all__ = [
 
 def _default_retry_policy() -> RetryPolicy:
     return RetryPolicy(max_attempts=3, backoff_seconds=0.05)
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricLimits:
+    """Timing limits of one fabric run, validated like ``ServiceLimits``.
+
+    Parameters
+    ----------
+    heartbeat_interval:
+        How often each worker emits a heartbeat frame.
+    heartbeat_timeout:
+        Silence (no frame of any kind) after which a worker is declared
+        dead and its lost cells re-sharded.  Must exceed the interval.
+    dispatch_deadline_seconds:
+        Optional ceiling on one run's dispatch+gather phase, applied
+        even when the caller passes no request
+        :class:`~repro.resilience.deadline.Deadline`; ``None`` leaves
+        the run bounded only by heartbeats and retries.
+    teardown_timeout:
+        Seconds to wait for worker processes to exit at teardown before
+        killing them (the previously hard-coded ``10.0``).
+    reader_join_timeout:
+        Bound on joining the per-worker reader threads at teardown —
+        they are never daemon-abandoned mid-run anymore.
+    """
+
+    heartbeat_interval: float = 0.5
+    heartbeat_timeout: float = 30.0
+    dispatch_deadline_seconds: float | None = None
+    teardown_timeout: float = 10.0
+    reader_join_timeout: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be positive, got "
+                f"{self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ConfigurationError(
+                "heartbeat_timeout must exceed heartbeat_interval, got "
+                f"{self.heartbeat_timeout} <= {self.heartbeat_interval}"
+            )
+        if (
+            self.dispatch_deadline_seconds is not None
+            and self.dispatch_deadline_seconds <= 0
+        ):
+            raise ConfigurationError(
+                "dispatch_deadline_seconds must be positive, got "
+                f"{self.dispatch_deadline_seconds}"
+            )
+        if self.teardown_timeout < 0:
+            raise ConfigurationError(
+                f"teardown_timeout must be >= 0, got {self.teardown_timeout}"
+            )
+        if self.reader_join_timeout < 0:
+            raise ConfigurationError(
+                f"reader_join_timeout must be >= 0, got "
+                f"{self.reader_join_timeout}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,10 +141,11 @@ class FabricConfig:
         coordinator talks to every worker directly); lower it to
         exercise deep trees or to bound per-node pipe count.
     heartbeat_interval:
-        How often each worker emits a heartbeat frame.
+        Legacy spelling of ``limits.heartbeat_interval`` (kept so
+        existing callers and configs keep working); when ``limits`` is
+        given explicitly it wins and these mirrors are realigned to it.
     heartbeat_timeout:
-        Silence (no frame of any kind) after which a worker is declared
-        dead and its lost cells re-sharded.
+        Legacy spelling of ``limits.heartbeat_timeout``; same contract.
     retry_policy:
         Attempt budget and deterministic backoff for lost/failed
         slices; re-shards beyond ``max_attempts`` raise
@@ -88,6 +153,15 @@ class FabricConfig:
     codec:
         Wire codec name: ``auto`` (msgpack when importable, else JSON),
         ``json``, or ``msgpack``.
+    limits:
+        The full :class:`FabricLimits` set (heartbeats, dispatch
+        deadline, teardown/join bounds).  Built from the legacy
+        heartbeat kwargs when omitted, so both spellings validate
+        through the same :class:`FabricLimits` checks.
+    breaker_policy:
+        Per-worker circuit-breaker tuning.  The default trips a
+        worker's breaker open on its first recorded failure — a fabric
+        worker that died stays suspect until a probe delay elapses.
     """
 
     n_workers: int = 4
@@ -98,6 +172,12 @@ class FabricConfig:
         default_factory=_default_retry_policy
     )
     codec: str = "auto"
+    limits: FabricLimits | None = None
+    breaker_policy: BreakerPolicy = dataclasses.field(
+        default_factory=lambda: BreakerPolicy(
+            failure_threshold=1, window_size=4, probe_delay_seconds=1.0
+        )
+    )
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -106,15 +186,23 @@ class FabricConfig:
             )
         if self.arity < 1:
             raise ConfigurationError(f"arity must be >= 1, got {self.arity}")
-        if self.heartbeat_interval <= 0:
-            raise ConfigurationError(
-                f"heartbeat_interval must be positive, got "
-                f"{self.heartbeat_interval}"
+        if self.limits is None:
+            object.__setattr__(
+                self,
+                "limits",
+                FabricLimits(
+                    heartbeat_interval=self.heartbeat_interval,
+                    heartbeat_timeout=self.heartbeat_timeout,
+                ),
             )
-        if self.heartbeat_timeout <= self.heartbeat_interval:
-            raise ConfigurationError(
-                "heartbeat_timeout must exceed heartbeat_interval, got "
-                f"{self.heartbeat_timeout} <= {self.heartbeat_interval}"
+        else:
+            # Explicit limits win; realign the legacy mirror fields so
+            # code reading either spelling sees one consistent truth.
+            object.__setattr__(
+                self, "heartbeat_interval", self.limits.heartbeat_interval
+            )
+            object.__setattr__(
+                self, "heartbeat_timeout", self.limits.heartbeat_timeout
             )
 
 
@@ -179,6 +267,9 @@ class FabricCoordinator:
         self._worker_deaths: list[dict] = []
         self._retries = 0
         self._local_cells = 0
+        self._readers: list[threading.Thread] = []
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._deadline: Deadline | None = None
 
     @property
     def _registry(self):
@@ -191,6 +282,15 @@ class FabricCoordinator:
     def pids(self) -> dict[int, int]:
         """Worker node -> OS pid, as reported by READY frames."""
         return dict(self._pids)
+
+    def _breaker(self, node: int) -> CircuitBreaker:
+        """The per-worker dispatch breaker for ``node`` (lazily built)."""
+        breaker = self._breakers.get(node)
+        if breaker is None:
+            breaker = self._breakers[node] = CircuitBreaker(
+                f"fabric.worker.{node}", policy=self.config.breaker_policy
+            )
+        return breaker
 
     # -- plumbing -----------------------------------------------------
 
@@ -226,22 +326,33 @@ class FabricCoordinator:
             "n_workers": self.config.n_workers,
             "arity": self.config.arity,
             "codec": self._codec,
-            "heartbeat_interval": self.config.heartbeat_interval,
+            "heartbeat_interval": self.config.limits.heartbeat_interval,
             "job": self.job.to_wire(),
         }
+        extra_env = None
+        if self._deadline is not None:
+            # The remaining budget travels both as a HELLO field (read
+            # by every node as the frame is relayed down the tree) and
+            # as the worker env var, for tooling spawned off the worker.
+            hello["deadline_ms"] = int(self._deadline.header_value())
+            extra_env = {ENV_DEADLINE_MS: self._deadline.header_value()}
         now = time.monotonic()
         for node in range(1, self.config.n_workers + 1):
             self._alive.add(node)
             self._last_seen[node] = now
         for node in children_of(0, self.config.arity, self.config.n_workers):
-            proc = spawn_child(dict(hello, node=node), self._codec)
+            proc = spawn_child(
+                dict(hello, node=node), self._codec, extra_env=extra_env
+            )
             self._children[node] = proc
-            threading.Thread(
+            reader = threading.Thread(
                 target=self._reader_loop,
                 args=(node, proc),
                 daemon=True,
                 name=f"fabric-reader-{node}",
-            ).start()
+            )
+            self._readers.append(reader)
+            reader.start()
         self._registry.increment(
             "fabric.workers_spawned", value=self.config.n_workers
         )
@@ -254,17 +365,40 @@ class FabricCoordinator:
                 proc.stdin.close()
             except (BrokenPipeError, ValueError, OSError):
                 pass
-        deadline = time.monotonic() + 10.0
+        deadline = time.monotonic() + self.config.limits.teardown_timeout
         for proc in self._children.values():
             try:
                 proc.wait(timeout=max(0.0, deadline - time.monotonic()))
             except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait()
+        # With every child reaped the reader threads are at (or one
+        # read from) EOF; join them within the configured bound instead
+        # of daemon-abandoning, so no reader outlives its run and races
+        # a later coordinator's frame queue.
+        join_by = time.monotonic() + self.config.limits.reader_join_timeout
+        for reader in self._readers:
+            reader.join(timeout=max(0.0, join_by - time.monotonic()))
+        leaked = sum(1 for reader in self._readers if reader.is_alive())
+        if leaked:
+            self._registry.increment("fabric.reader_leaks", value=leaked)
+        self._readers.clear()
 
     # -- scheduling ---------------------------------------------------
 
     def _dispatch(self, grid_slice: GridSlice, node: int, attempt: int) -> None:
+        # Chaos site ``fabric.dispatch``: a ``kill_worker`` rule kills
+        # the child process this dispatch would route through, right
+        # before the WORK frame is sent — the mid-slice crash the
+        # re-shard path must absorb without changing a single record.
+        if chaos.inject("fabric.dispatch") == "kill_worker":
+            try:
+                hop = route_step(0, node, self.config.arity)
+            except ValueError:
+                hop = None
+            proc = self._children.get(hop) if hop is not None else None
+            if proc is not None:
+                proc.kill()
         self._work_counter += 1
         work = self._work_counter
         assignment = _Assignment(
@@ -301,18 +435,33 @@ class FabricCoordinator:
     def _shard_across(
         self, grid_slice: GridSlice, attempt: int
     ) -> None:
-        """Split ``grid_slice`` over the surviving workers and dispatch."""
+        """Split ``grid_slice`` over the surviving workers and dispatch.
+
+        Workers whose dispatch breaker is open are skipped while any
+        breaker-clear worker survives; when every surviving breaker is
+        open (or probing) the plain alive ring is used — a fully tripped
+        fleet still makes progress rather than deadlocking.
+        """
         alive = self._alive_ring()
         if not alive:
             self._run_locally(grid_slice)
             return
-        for shard, node in zip(grid_slice.split(len(alive)), alive):
+        preferred = [n for n in alive if self._breaker(n).allow()]
+        ring = preferred or alive
+        for shard, node in zip(grid_slice.split(len(ring)), ring):
             self._dispatch(shard, node, attempt)
 
     def _retry_slice(
         self, grid_slice: GridSlice, attempt: int, reason: str
     ) -> None:
-        """Re-shard a lost/failed slice after policy-checked backoff."""
+        """Re-shard a lost/failed slice after policy-checked backoff.
+
+        Honors the run's :class:`~repro.resilience.deadline.Deadline`:
+        the backoff sleep never extends past the remaining budget, and
+        an already-expired budget raises before any re-dispatch.
+        """
+        if self._deadline is not None:
+            self._deadline.check("fabric.coordinator")
         if not self.config.retry_policy.should_retry(attempt):
             raise RetryExhaustedError(
                 f"fabric slice {grid_slice.canonical()!r} failed after "
@@ -328,11 +477,12 @@ class FabricCoordinator:
             attempt=attempt + 1,
             reason=reason,
         )
-        time.sleep(
-            self.config.retry_policy.delay(
-                attempt, token=grid_slice.canonical()
-            )
+        backoff = self.config.retry_policy.delay(
+            attempt, token=grid_slice.canonical()
         )
+        if self._deadline is not None:
+            backoff = self._deadline.bounded(backoff)
+        time.sleep(backoff)
         self._shard_across(grid_slice, attempt + 1)
 
     def _handle_death(self, node: int, reason: str) -> None:
@@ -346,6 +496,7 @@ class FabricCoordinator:
             return
         for lost in lost_nodes:
             self._alive.discard(lost)
+            self._breaker(lost).record_failure()
             self._worker_deaths.append({"node": lost, "reason": reason})
             self._registry.increment("fabric.worker_deaths", reason=reason)
             self._registry.record_event(
@@ -378,6 +529,8 @@ class FabricCoordinator:
         for index in grid_slice:
             if index in self._results:
                 continue
+            if self._deadline is not None:
+                self._deadline.check("fabric.coordinator")
             self._results[index] = self._plan.run_cell(index)
             self._local_cells += 1
             self._registry.increment("fabric.local_cells")
@@ -386,8 +539,22 @@ class FabricCoordinator:
 
     # -- the run ------------------------------------------------------
 
-    def run(self) -> FabricReport:
-        """Execute the job; return records in grid order."""
+    def run(self, deadline: Deadline | None = None) -> FabricReport:
+        """Execute the job; return records in grid order.
+
+        ``deadline`` bounds the dispatch+gather phase: frame waits and
+        re-shard backoffs are clipped to the remaining budget, and
+        expiry raises a structured
+        :class:`~repro.exceptions.DeadlineExceededError` within one
+        heartbeat interval.  When omitted,
+        ``config.limits.dispatch_deadline_seconds`` (if set) starts a
+        budget of its own.
+        """
+        if deadline is None:
+            ceiling = self.config.limits.dispatch_deadline_seconds
+            if ceiling is not None:
+                deadline = Deadline(ceiling * 1000.0)
+        self._deadline = deadline
         self._codec = wire.default_codec(self.config.codec)
         self._plan = build_job(self.job)
         plan = self._plan
@@ -451,10 +618,12 @@ class FabricCoordinator:
                     )
                 )
                 return
+            wait = self.config.limits.heartbeat_interval
+            if self._deadline is not None:
+                self._deadline.check("fabric.coordinator")
+                wait = max(1e-3, self._deadline.bounded(wait))
             try:
-                kind, payload = self._frames.get(
-                    timeout=self.config.heartbeat_interval
-                )
+                kind, payload = self._frames.get(timeout=wait)
             except queue.Empty:
                 self._check_heartbeats()
                 continue
@@ -526,6 +695,7 @@ class FabricCoordinator:
         assignment.done = True
         self._registry.increment("fabric.slices", status="done")
         node = assignment.node
+        self._breaker(node).record_success()
         timing = self._worker_timings.setdefault(
             node, {"cells": 0, "busy_seconds": 0.0, "slices": 0}
         )
@@ -591,6 +761,8 @@ def fabric_simulated_sweep(
     arity: int = 8,
     cache: "ResultCache | str | Path | None" = None,
     retry_policy: RetryPolicy | None = None,
+    limits: FabricLimits | None = None,
+    deadline: Deadline | None = None,
     **network_kwargs,
 ) -> list[dict]:
     """Monte-Carlo bandwidth sweep on the fabric; records in grid order.
@@ -600,7 +772,8 @@ def fabric_simulated_sweep(
     arguments produce ``==``-identical records, the work just runs
     across ``n_workers`` fabric processes instead of a fork pool.
     ``seed`` must be an int here (it travels as JSON in the job
-    description).
+    description).  ``limits`` and ``deadline`` pass straight through to
+    :class:`FabricConfig` / :meth:`FabricCoordinator.run`.
     """
     params: dict = {
         "scheme": scheme,
@@ -618,9 +791,11 @@ def fabric_simulated_sweep(
     config_kwargs: dict = {"n_workers": n_workers, "arity": arity}
     if retry_policy is not None:
         config_kwargs["retry_policy"] = retry_policy
+    if limits is not None:
+        config_kwargs["limits"] = limits
     coordinator = FabricCoordinator(
         FabricJob(kind="sweep", params=params),
         FabricConfig(**config_kwargs),
         cache=cache,
     )
-    return coordinator.run().records
+    return coordinator.run(deadline=deadline).records

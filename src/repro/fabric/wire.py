@@ -30,6 +30,7 @@ import threading
 from typing import BinaryIO
 
 from repro.exceptions import ConfigurationError
+from repro.resilience import chaos
 
 try:  # optional accelerator; the wire format does not require it
     import msgpack
@@ -42,6 +43,7 @@ __all__ = [
     "default_codec",
     "encode_frame",
     "decode_payload",
+    "corrupt_frame",
     "write_frame",
     "write_raw_frame",
     "read_raw_frame",
@@ -111,15 +113,40 @@ def decode_payload(raw: bytes) -> dict:
             f"declared length {length}"
         )
     if codec == CODEC_JSON:
-        return json.loads(payload)
+        try:
+            return json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # Wrapped so every reader's single ``except FrameError`` also
+            # covers corrupted payload bytes (the corrupt-frame chaos
+            # injection lands here) — a flipped bit is a dead peer, not
+            # an unhandled reader-thread crash.
+            raise FrameError(f"undecodable JSON payload: {exc}") from exc
     if codec == CODEC_MSGPACK:
         if msgpack is None:
             raise FrameError(
                 "received a msgpack frame but the msgpack package is not "
                 "installed"
             )
-        return msgpack.unpackb(payload, raw=False)
+        try:
+            return msgpack.unpackb(payload, raw=False)
+        except Exception as exc:
+            raise FrameError(
+                f"undecodable msgpack payload: {exc}"
+            ) from exc
     raise FrameError(f"unknown codec byte {codec}")
+
+
+def corrupt_frame(raw: bytes) -> bytes:
+    """Deterministically flip the last payload byte of an encoded frame.
+
+    The header (codec + declared length) is left intact so the receiver
+    reads the frame whole and fails in :func:`decode_payload` — the
+    realistic single-bit-flip failure mode — rather than desynchronizing
+    the stream.
+    """
+    if len(raw) <= _HEADER.size:
+        return raw
+    return raw[:-1] + bytes([raw[-1] ^ 0xFF])
 
 
 def write_frame(
@@ -128,8 +155,16 @@ def write_frame(
     codec: int = CODEC_JSON,
     lock: threading.Lock | None = None,
 ) -> None:
-    """Encode and write one frame, flushing; atomic under ``lock``."""
-    write_raw_frame(stream, encode_frame(message, codec), lock=lock)
+    """Encode and write one frame, flushing; atomic under ``lock``.
+
+    Chaos site ``fabric.wire.encode``: a ``corrupt_frame`` rule flips a
+    payload byte in the outgoing frame, which the receiving side decodes
+    into a :class:`FrameError` and treats as a dead peer.
+    """
+    raw = encode_frame(message, codec)
+    if chaos.inject("fabric.wire.encode") == "corrupt_frame":
+        raw = corrupt_frame(raw)
+    write_raw_frame(stream, raw, lock=lock)
 
 
 def write_raw_frame(

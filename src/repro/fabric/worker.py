@@ -43,6 +43,7 @@ from pathlib import Path
 from repro.fabric import wire
 from repro.fabric.gridslice import GridSlice
 from repro.fabric.jobs import FabricJob, build_job
+from repro.resilience.deadline import Deadline, deadline_from_env
 
 __all__ = [
     "children_of",
@@ -130,14 +131,24 @@ _SPAWN_SNIPPET = (
 )
 
 
-def spawn_child(hello: dict, codec: int) -> subprocess.Popen:
-    """Spawn one worker process and send it its HELLO frame."""
+def spawn_child(
+    hello: dict, codec: int, extra_env: dict[str, str] | None = None
+) -> subprocess.Popen:
+    """Spawn one worker process and send it its HELLO frame.
+
+    ``extra_env`` overlays the inherited environment — the coordinator
+    uses it to hand the remaining request budget down as
+    ``REPRO_DEADLINE_MS``.
+    """
+    env = _child_env()
+    if extra_env:
+        env.update(extra_env)
     proc = subprocess.Popen(
         [sys.executable, "-c", _SPAWN_SNIPPET],
         stdin=subprocess.PIPE,
         stdout=subprocess.PIPE,
         stderr=None,  # passes through for debuggability
-        env=_child_env(),
+        env=env,
     )
     wire.write_frame(proc.stdin, hello, codec)
     return proc
@@ -161,6 +172,7 @@ class _WorkerNode:
         self.arity = 1
         self.n_workers = 0
         self.codec = wire.CODEC_JSON
+        self.deadline: Deadline | None = None
 
     def _send(self, message: dict) -> None:
         try:
@@ -215,6 +227,12 @@ class _WorkerNode:
             for index in grid_slice:
                 if self._stop.is_set():
                     return
+                if self.deadline is not None and self.deadline.expired:
+                    # Budget spent: stop burning CPU.  The coordinator
+                    # holds the same deadline and raises the structured
+                    # 504 itself; this worker just refuses to block the
+                    # request path past its budget.
+                    break
                 try:
                     record = plan.run_cell(index)
                 except KeyError:
@@ -271,6 +289,14 @@ class _WorkerNode:
         self.arity = int(hello["arity"])
         self.codec = int(hello.get("codec", wire.CODEC_JSON))
         interval = float(hello.get("heartbeat_interval", 0.5))
+        budget_ms = hello.get("deadline_ms")
+        if budget_ms is not None:
+            # The budget started ticking at the coordinator; starting a
+            # fresh Deadline from the HELLO value is conservative only
+            # by the spawn latency already spent.
+            self.deadline = Deadline(float(budget_ms))
+        else:
+            self.deadline = deadline_from_env()
 
         try:
             plan = build_job(FabricJob.from_wire(hello["job"]))

@@ -117,6 +117,74 @@ def _resilience_section(registry: MetricsRegistry) -> dict[str, object]:
         "quarantined_cache_files": int(
             registry.counter_total("parallel.disk_cache.quarantined")
         ),
+        "deadline_exceeded": _labelled_totals(
+            registry, "resilience.deadline_exceeded", "site"
+        ),
+    }
+
+
+def _breaker_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Circuit-breaker digest: transitions (in order) and rejections.
+
+    The ``transitions`` list preserves event order — a seeded chaos
+    replay must reproduce the exact same open/half-open/closed walk, so
+    the list is diffable across runs by contract.
+    """
+    transitions = [
+        {
+            key: event[key]
+            for key in ("breaker", "from", "to", "failures")
+            if key in event
+        }
+        for event in registry.events()
+        if event["kind"] == "breaker.transition"
+    ]
+    return {
+        "transitions": transitions,
+        "transition_totals": _labelled_totals(
+            registry, "breaker.transitions", "breaker"
+        ),
+        "rejected": _labelled_totals(registry, "breaker.rejected", "breaker"),
+    }
+
+
+def _brownout_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Brownout-ladder digest: moves (in order) and per-class sheds."""
+    transitions = [
+        {
+            key: event[key]
+            for key in ("from", "to", "queue_depth", "p95_ms")
+            if key in event
+        }
+        for event in registry.events()
+        if event["kind"] == "brownout.transition"
+    ]
+    return {
+        "transitions": transitions,
+        "moves": _labelled_totals(
+            registry, "brownout.transitions", "direction"
+        ),
+        "shed_by_class": _labelled_totals(registry, "brownout.shed", "cls"),
+    }
+
+
+def _chaos_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Chaos-injection digest: what fired where, in order."""
+    injections = [
+        # The event carries the injected kind as ``fault`` (``kind`` is
+        # the event-name slot); the manifest re-exposes it as ``kind``.
+        {
+            "site": event.get("site"),
+            "kind": event.get("fault"),
+            "call": event.get("call"),
+        }
+        for event in registry.events()
+        if event["kind"] == "chaos.injection"
+    ]
+    return {
+        "injections": injections,
+        "by_site": _labelled_totals(registry, "chaos.injected", "site"),
+        "by_kind": _labelled_totals(registry, "chaos.injected", "kind"),
     }
 
 
@@ -313,6 +381,9 @@ def build_manifest(
         "surfaces": _surfaces_section(registry),
         "arbitration": _arbitration_section(registry),
         "fabric": _fabric_section(registry),
+        "breaker": _breaker_section(registry),
+        "brownout": _brownout_section(registry),
+        "chaos": _chaos_section(registry),
         "counters": _counters_section(registry),
         "timings": _timings_section(registry),
     }

@@ -74,6 +74,34 @@ class BatchWindow:
         return len(self._items)
 
     @property
+    def max_size(self) -> int:
+        """Current size bound (mutable via :meth:`set_limits`)."""
+        return self._max_size
+
+    @property
+    def max_delay(self) -> float:
+        """Current delay bound (mutable via :meth:`set_limits`)."""
+        return self._max_delay
+
+    def set_limits(self, max_size: int, max_delay: float) -> None:
+        """Retune the window bounds (validated like the constructor).
+
+        The brownout governor shrinks both under overload so queued work
+        drains in smaller, faster bites; already-scheduled flushes keep
+        their timer — the new bounds apply from the next submission.
+        """
+        if max_size < 1:
+            raise ConfigurationError(
+                f"max_size must be >= 1, got {max_size}"
+            )
+        if max_delay < 0:
+            raise ConfigurationError(
+                f"max_delay must be >= 0, got {max_delay}"
+            )
+        self._max_size = int(max_size)
+        self._max_delay = float(max_delay)
+
+    @property
     def flushes(self) -> int:
         """Total windows flushed since construction."""
         return self._flushes
@@ -139,6 +167,23 @@ class BatchWindow:
                 future.exception()
             else:
                 future.set_result(result)
+
+    def fail_pending(self, exc_factory: Callable[[], Exception]) -> None:
+        """Fail every pending submission with a *fresh* typed exception.
+
+        Graceful shutdown uses this to complete queued waiters with a
+        structured :class:`~repro.exceptions.ServiceStoppingError`
+        (→ 503 envelope) instead of a bare cancellation.  ``exc_factory``
+        builds one instance per future — exception instances must not be
+        shared across raises, or their tracebacks cross-contaminate.
+        """
+        self._cancel_timer()
+        futures = self._futures
+        self._items, self._futures = [], []
+        for future in futures:
+            if not future.done():
+                future.set_exception(exc_factory())
+                future.exception()
 
     def close(self) -> None:
         """Cancel any scheduled flush and fail the pending submissions."""

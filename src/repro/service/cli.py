@@ -20,6 +20,9 @@ import sys
 from repro.obs.exporters import write_events_jsonl, write_prometheus
 from repro.obs.manifest import write_manifest
 from repro.obs.metrics import enable_telemetry
+from repro.resilience import chaos
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.brownout import BrownoutGovernor, BrownoutPolicy
 from repro.service.admission import AdmissionController, TokenBucket
 from repro.service.engine import QueryEngine
 from repro.service.http import BandwidthService
@@ -104,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="only serve exact gridpoint hits from surfaces "
         "(off-grid rates fall through to the engine)",
     )
+    parser.add_argument(
+        "--chaos-plan", metavar="FILE", default=None,
+        help="install a deterministic fault-injection plan "
+        "(JSON FaultPlan) for the lifetime of the server",
+    )
+    parser.add_argument(
+        "--no-brownout", action="store_true",
+        help="disable the criticality-aware overload governor "
+        "(on by default: interpolate, shrink batches, then shed by "
+        "ascending criticality under sustained overload)",
+    )
+    parser.add_argument(
+        "--brownout-queue-high", type=int, default=16,
+        help="queue depth at which the brownout ladder steps up",
+    )
+    parser.add_argument(
+        "--brownout-p95-high", type=float, default=0.5,
+        help="p95 latency (seconds) at which the ladder steps up",
+    )
     return parser
 
 
@@ -132,6 +154,16 @@ async def _serve(args: argparse.Namespace) -> None:
         bucket=bucket, max_queue_depth=args.max_queue_depth
     )
     surfaces = _build_surfaces(args)
+    brownout = None
+    if not args.no_brownout:
+        brownout = BrownoutGovernor(
+            BrownoutPolicy(
+                queue_high=args.brownout_queue_high,
+                queue_low=min(4, args.brownout_queue_high),
+                p95_high_seconds=args.brownout_p95_high,
+                p95_low_seconds=min(0.1, args.brownout_p95_high),
+            )
+        )
     engine = QueryEngine(
         cache_size=args.cache_size,
         batch_max_size=args.batch_size,
@@ -139,6 +171,8 @@ async def _serve(args: argparse.Namespace) -> None:
         admission=admission,
         limits=ServiceLimits(max_sweep_cells=args.max_sweep_cells),
         surfaces=surfaces,
+        brownout=brownout,
+        batch_breaker=CircuitBreaker("service.batch"),
     )
     refresher = None
     if surfaces is not None:
@@ -164,10 +198,19 @@ async def _serve(args: argparse.Namespace) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     registry = enable_telemetry() if args.telemetry else None
+    plan = (
+        chaos.FaultPlan.from_file(args.chaos_plan)
+        if args.chaos_plan
+        else None
+    )
+    if plan is not None:
+        chaos.install_plan(plan)
     try:
         with contextlib.suppress(KeyboardInterrupt):
             asyncio.run(_serve(args))
     finally:
+        if plan is not None:
+            chaos.uninstall_plan()
         if registry is not None:
             write_manifest(
                 registry,

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import time
 from collections import OrderedDict
 
 import asyncio
@@ -55,9 +56,18 @@ from repro.analysis.batch import (
     scheme_bus_profile,
 )
 from repro.core.request_models import RequestModel
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    AdmissionError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceStoppingError,
+)
 from repro.obs.metrics import get_registry
 from repro.obs.spans import span
+from repro.resilience import chaos
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.brownout import BrownoutGovernor
+from repro.resilience.deadline import Deadline
 from repro.service.admission import AdmissionController
 from repro.service.batching import BatchWindow
 from repro.service.protocol import (
@@ -152,6 +162,16 @@ class QueryEngine:
         ``json.dumps`` on repeat hits — the HTTP front-end writes the
         cached bytes straight to the socket.  ``0`` disables it
         (every response encodes from scratch, the pre-PR behaviour).
+    brownout:
+        Optional :class:`~repro.resilience.brownout.BrownoutGovernor`
+        evaluated per request: it may shed the request by criticality
+        class (429, ``reason="brownout"``), force interpolated surface
+        answers, and shrink the batch window under overload.
+    batch_breaker:
+        Optional :class:`~repro.resilience.breaker.CircuitBreaker`
+        guarding the batch-evaluation tier; while open, batched queries
+        fail fast with a 503-mapped
+        :class:`~repro.exceptions.BreakerOpenError`.
     """
 
     def __init__(
@@ -164,6 +184,8 @@ class QueryEngine:
         model_cache_size: int = 512,
         surfaces=None,
         encode_cache_size: int = 2048,
+        brownout: BrownoutGovernor | None = None,
+        batch_breaker: CircuitBreaker | None = None,
     ):
         if cache_size < 0:
             raise ConfigurationError(
@@ -192,6 +214,12 @@ class QueryEngine:
             max_size=batch_max_size,
             max_delay=batch_max_delay,
         )
+        #: Base batch bounds the brownout governor shrinks from/recovers to.
+        self._batch_base = (int(batch_max_size), float(batch_max_delay))
+        self.brownout = brownout
+        self.batch_breaker = batch_breaker
+        self._stopping = False
+        self._tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -217,68 +245,167 @@ class QueryEngine:
     # ------------------------------------------------------------------
 
     async def execute_payload(
-        self, payload: object, sweep: bool = False
+        self,
+        payload: object,
+        sweep: bool = False,
+        deadline: Deadline | None = None,
     ) -> QueryResponse:
         """Parse a decoded JSON payload and execute it."""
         query = parse_query(payload, sweep=sweep, limits=self.limits)
-        return await self.execute(query)
+        return await self.execute(query, deadline=deadline)
 
-    async def execute(self, query: Query) -> QueryResponse:
-        """Answer ``query`` from the cheapest tier that can serve it."""
+    async def execute(
+        self, query: Query, deadline: Deadline | None = None
+    ) -> QueryResponse:
+        """Answer ``query`` from the cheapest tier that can serve it.
+
+        ``deadline`` is the request's remaining end-to-end budget:
+        checked on entry, and bounding the wait on any (own or
+        coalesced-onto) computation — expiry surfaces as a typed
+        :class:`~repro.exceptions.DeadlineExceededError` (→ 504) while
+        the computation itself runs to completion for other waiters and
+        the LRU.
+        """
         registry = get_registry()
         kind = "sweep" if query.is_sweep else "query"
+        await chaos.ainject("service.engine")
+        if self._stopping:
+            raise ServiceStoppingError(
+                "service is shutting down; not accepting new queries"
+            )
+        if deadline is not None:
+            deadline.check("service.engine")
         if self._admission is not None:
             self._admission.admit(queue_depth=self.queue_depth)
+        brownout = self.brownout
+        if brownout is not None:
+            level = brownout.evaluate(self.queue_depth)
+            if brownout.should_shed(query.criticality):
+                raise AdmissionError(
+                    f"brownout level {level} shed criticality-class-"
+                    f"{query.criticality} request",
+                    retry_after_seconds=0.05 * level,
+                    reason="brownout",
+                )
+            self._batch.set_limits(
+                *brownout.batch_limits(*self._batch_base)
+            )
         registry.increment("service.requests", kind=kind)
 
-        with registry.time_block("service.latency_seconds", kind=kind):
-            if self.surfaces is not None and not query.is_sweep:
-                value, result_kind = self.surfaces.lookup(query)
-                if value is not None:
-                    registry.increment(
-                        "service.surfaces.hits", kind=result_kind
-                    )
-                    source = (
-                        "surface" if result_kind == "exact"
-                        else "surface_interp"
-                    )
-                    return self._response(
-                        query,
-                        {"values": {query.bus_counts[0]: value},
-                         "skipped": []},
-                        source,
-                    )
-                registry.increment("service.surfaces.misses", kind=result_kind)
+        started = time.perf_counter()
+        try:
+            with registry.time_block("service.latency_seconds", kind=kind):
+                return await self._execute_tiers(
+                    query, kind, registry, brownout, deadline
+                )
+        finally:
+            if brownout is not None:
+                brownout.observe_latency(time.perf_counter() - started)
 
-            cached = self._lru_get(query)
-            if cached is not None:
-                registry.increment("service.cache.hits", kind=kind)
-                return self._response(query, cached, "cache")
-            registry.increment("service.cache.misses", kind=kind)
+    async def _execute_tiers(
+        self, query, kind, registry, brownout, deadline
+    ) -> QueryResponse:
+        if self.surfaces is not None and not query.is_sweep:
+            force_interp = (
+                True
+                if brownout is not None and brownout.approximate
+                else None
+            )
+            value, result_kind = self.surfaces.lookup(
+                query, allow_interpolation=force_interp
+            )
+            if value is not None:
+                registry.increment(
+                    "service.surfaces.hits", kind=result_kind
+                )
+                source = (
+                    "surface" if result_kind == "exact"
+                    else "surface_interp"
+                )
+                return self._response(
+                    query,
+                    {"values": {query.bus_counts[0]: value},
+                     "skipped": []},
+                    source,
+                )
+            registry.increment("service.surfaces.misses", kind=result_kind)
 
-            inflight = self._inflight.get(query)
-            if inflight is not None:
-                registry.increment("service.coalesced", kind=kind)
-                result = await asyncio.shield(inflight)
-                return self._response(query, result, "coalesced")
+        cached = self._lru_get(query)
+        if cached is not None:
+            registry.increment("service.cache.hits", kind=kind)
+            return self._response(query, cached, "cache")
+        registry.increment("service.cache.misses", kind=kind)
 
-            future = asyncio.get_running_loop().create_future()
-            self._inflight[query] = future
-            try:
-                result = await self._compute(query)
-            except Exception as exc:
-                if not future.done():
-                    future.set_exception(exc)
-                    future.exception()
-                raise
-            else:
-                if not future.done():
-                    future.set_result(result)
-                self._lru_put(query, result)
-                registry.increment("service.computed", kind=kind)
-                return self._response(query, result, "computed")
-            finally:
-                self._inflight.pop(query, None)
+        inflight = self._inflight.get(query)
+        if inflight is not None:
+            registry.increment("service.coalesced", kind=kind)
+            result = await self._await_result(inflight, deadline)
+            return self._response(query, result, "coalesced")
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[query] = future
+        # The computation runs in its own task so a leader that times
+        # out (deadline) or disconnects cannot abandon the coalesced
+        # waiters: the task fulfills the shared future regardless, and
+        # the finished result still lands in the LRU.
+        task = loop.create_task(self._fulfill(query, future, kind))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        result = await self._await_result(future, deadline)
+        return self._response(query, result, "computed")
+
+    async def _await_result(
+        self, future: asyncio.Future, deadline: Deadline | None
+    ) -> dict:
+        """Await a shared in-flight future, bounded by the deadline.
+
+        ``shield`` keeps a timeout (or caller cancellation) from
+        cancelling the shared computation — other coalesced waiters and
+        the result LRU still get the answer.
+        """
+        if deadline is None:
+            return await asyncio.shield(future)
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future),
+                timeout=deadline.remaining_seconds(),
+            )
+        except asyncio.TimeoutError:
+            deadline.check("service.engine")
+            raise DeadlineExceededError(
+                f"deadline of {deadline.budget_ms:.0f}ms exceeded at "
+                f"service.engine",
+                site="service.engine",
+                budget_ms=deadline.budget_ms,
+            ) from None
+
+    async def _fulfill(
+        self, query: Query, future: asyncio.Future, kind: str
+    ) -> None:
+        """Compute ``query`` and resolve its coalescing future.
+
+        Failures resolve the future too (every waiter sees the typed
+        error) and are evicted immediately — an error can never poison
+        the coalescing map or the LRU.
+        """
+        try:
+            result = await self._compute(query)
+        except asyncio.CancelledError:
+            if not future.done():
+                future.cancel()
+            raise
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+                future.exception()
+        else:
+            if not future.done():
+                future.set_result(result)
+            self._lru_put(query, result)
+            get_registry().increment("service.computed", kind=kind)
+        finally:
+            self._inflight.pop(query, None)
 
     def _response(
         self, query: Query, result: dict, source: str
@@ -337,8 +464,15 @@ class QueryEngine:
         Infeasible cells come back as per-item
         :class:`~repro.exceptions.ConfigurationError` rejections carrying
         the audited skip reason, exactly what the per-cell constructor
-        path would have raised.
+        path would have raised.  The optional batch breaker guards the
+        *tier*: flush-level failures trip it (every waiter in the window
+        then fails fast with a 503-mapped
+        :class:`~repro.exceptions.BreakerOpenError` while it is open);
+        per-item skips are organic rejections and never count.
         """
+        breaker = self.batch_breaker
+        if breaker is not None:
+            breaker.check()
         registry = get_registry()
         cells = [
             GridCell.from_kwargs(
@@ -355,8 +489,18 @@ class QueryEngine:
         registry.increment("service.batch.flushes")
         registry.increment("service.batch.cells", len(cells))
         registry.increment("service.batch.groups", groups)
-        with span("service.batch_flush", cells=len(cells), groups=groups):
-            raw = evaluate_cells(cells)
+        try:
+            # Inside the try so an injected batch-tier fault is a
+            # recorded breaker failure, like any real flush failure.
+            chaos.inject("service.batch")
+            with span("service.batch_flush", cells=len(cells), groups=groups):
+                raw = evaluate_cells(cells)
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            breaker.record_success()
         return [
             ConfigurationError(result.reason)
             if isinstance(result, SkippedCell)
@@ -432,6 +576,52 @@ class QueryEngine:
         self._results.clear()
         self._encoded.clear()
 
+    @property
+    def stopping(self) -> bool:
+        """True once graceful shutdown has begun."""
+        return self._stopping
+
+    def begin_shutdown(self) -> None:
+        """Start graceful shutdown: fail every waiter with a typed 503.
+
+        New queries are rejected, queued batch submissions and in-flight
+        coalescing futures are *completed* with
+        :class:`~repro.exceptions.ServiceStoppingError` — a waiter is
+        never left pending.  Each future gets its own exception instance
+        (instances must not be shared across raises).  Idempotent.
+        """
+        if self._stopping:
+            return
+        self._stopping = True
+        get_registry().record_event(
+            "service.shutdown_begun",
+            inflight=len(self._inflight),
+            batched=self._batch.pending,
+        )
+        self._batch.fail_pending(
+            lambda: ServiceStoppingError(
+                "service is shutting down; batched query abandoned"
+            )
+        )
+        for future in tuple(self._inflight.values()):
+            if not future.done():
+                future.set_exception(
+                    ServiceStoppingError(
+                        "service is shutting down; in-flight query failed"
+                    )
+                )
+                future.exception()
+        self._inflight.clear()
+
     def close(self) -> None:
         """Tear down the batch window, cancelling queued submissions."""
         self._batch.close()
+        for task in tuple(self._tasks):
+            if not task.done():
+                try:
+                    task.cancel()
+                except RuntimeError:
+                    # The owning loop is already closed; the task can
+                    # never run again, so there is nothing to cancel.
+                    pass
+        self._tasks.clear()

@@ -10,12 +10,18 @@ body) and maps four routes onto the engine::
     GET  /metrics  Prometheus text dump of the active telemetry registry
 
 Success responses are the engine's JSON envelopes; every failure —
-malformed JSON, oversized bodies, invalid parameters, shed requests —
-is a structured JSON error envelope from
-:func:`repro.service.protocol.error_envelope` with the matching status
-code (400/413/429), never a traceback.  Shed responses additionally
-carry a ``Retry-After`` header with the admission controller's
-deterministic hint rounded up to whole seconds.
+malformed JSON, oversized bodies, invalid parameters, shed requests,
+expired deadlines, tripped breakers, shutdown — is a structured JSON
+error envelope from :func:`repro.service.protocol.error_envelope` with
+the matching status code (400/413/429/503/504), never a traceback.
+Shed and breaker-open responses additionally carry a ``Retry-After``
+header with the deterministic hint rounded up to whole seconds.
+
+Requests may carry an ``X-Repro-Deadline-Ms`` header: the remaining
+end-to-end budget in milliseconds.  It is parsed into a
+:class:`~repro.resilience.deadline.Deadline` at ingress and threaded
+through the engine; expiry anywhere along the path returns a structured
+504 naming the site that observed it.
 """
 
 from __future__ import annotations
@@ -26,17 +32,27 @@ import math
 
 from repro.exceptions import (
     AdmissionError,
+    BreakerOpenError,
     ConfigurationError,
     QueryTooLargeError,
+    ServiceStoppingError,
 )
 from repro.obs.metrics import get_registry
 from repro.obs.exporters import prometheus_text
+from repro.resilience import chaos
+from repro.resilience.deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    parse_deadline_header,
+)
 from repro.service.engine import QueryEngine
 from repro.service.protocol import error_envelope
 
 __all__ = ["BandwidthService"]
 
 _MAX_HEADER_BYTES = 16 * 1024
+
+_DEADLINE_HEADER_LOWER = DEADLINE_HEADER.lower()
 
 
 class _BadRequest(ConfigurationError):
@@ -45,8 +61,12 @@ class _BadRequest(ConfigurationError):
 
 async def _read_request(
     reader: asyncio.StreamReader, max_body: int
-) -> tuple[str, str, bytes, bool]:
-    """Parse one request; returns ``(method, path, body, close)``."""
+) -> tuple[str, str, bytes, bool, Deadline | None]:
+    """Parse one request; returns ``(method, path, body, close, deadline)``.
+
+    The deadline starts ticking the moment the ``X-Repro-Deadline-Ms``
+    header is parsed — header time counts against the budget.
+    """
     request_line = await reader.readline()
     if not request_line:
         raise EOFError
@@ -59,6 +79,7 @@ async def _read_request(
 
     content_length = 0
     close = False
+    deadline: Deadline | None = None
     header_bytes = 0
     while True:
         line = await reader.readline()
@@ -78,6 +99,8 @@ async def _read_request(
                 ) from None
         elif name == "connection":
             close = value.strip().lower() == "close"
+        elif name == _DEADLINE_HEADER_LOWER:
+            deadline = parse_deadline_header(value)
     if content_length < 0:
         raise _BadRequest(f"bad Content-Length: {content_length}")
     if content_length > max_body:
@@ -88,7 +111,7 @@ async def _read_request(
     body = (
         await reader.readexactly(content_length) if content_length else b""
     )
-    return method, path, body, close
+    return method, path, body, close, deadline
 
 
 class BandwidthService:
@@ -117,16 +140,30 @@ class BandwidthService:
         )
         return self.port
 
-    async def stop(self) -> None:
-        """Stop accepting connections and tear the engine down."""
+    async def stop(self, grace_seconds: float = 1.0) -> None:
+        """Graceful shutdown: drain, complete every waiter, tear down.
+
+        Ordering matters: (1) stop accepting connections, (2) begin
+        engine shutdown — every in-flight coalesced waiter and queued
+        batch submission is *completed* with a structured 503
+        (:class:`~repro.exceptions.ServiceStoppingError`), never left
+        pending — then (3) give connection handlers ``grace_seconds``
+        to write those envelopes out before cancelling stragglers
+        (idle keep-alive connections blocked in ``readline``).
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for task in tuple(self._connections):
-            task.cancel()
+        self.engine.begin_shutdown()
         if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
+            done, pending = await asyncio.wait(
+                tuple(self._connections), timeout=grace_seconds
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
         self._connections.clear()
         self.engine.close()
 
@@ -151,7 +188,7 @@ class BandwidthService:
         try:
             while True:
                 try:
-                    method, path, body, close = await _read_request(
+                    method, path, body, close, deadline = await _read_request(
                         reader, self.engine.limits.max_body_bytes
                     )
                 except (
@@ -165,7 +202,7 @@ class BandwidthService:
                     break
                 try:
                     status, payload, headers = await self._dispatch(
-                        method, path, body
+                        method, path, body, deadline
                     )
                 except Exception as exc:
                     get_registry().increment(
@@ -190,14 +227,21 @@ class BandwidthService:
                 pass
 
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        deadline: Deadline | None = None,
     ) -> tuple[int, bytes, dict[str, str]]:
         registry = get_registry()
         registry.increment("service.http.requests", path=path)
+        await chaos.ainject("service.http")
         if path == "/healthz" and method == "GET":
             health = {
                 "ok": True,
-                "status": "serving",
+                "status": (
+                    "stopping" if self.engine.stopping else "serving"
+                ),
                 "inflight": self.engine.inflight_count,
                 "queue_depth": self.engine.queue_depth,
                 "cached_results": self.engine.cache_size,
@@ -209,6 +253,10 @@ class BandwidthService:
         if path in ("/query", "/sweep"):
             if method != "POST":
                 raise _BadRequest(f"{path} requires POST, got {method}")
+            if self.engine.stopping:
+                raise ServiceStoppingError(
+                    "service is shutting down; not accepting new queries"
+                )
             try:
                 payload = json.loads(body)
             except json.JSONDecodeError as exc:
@@ -216,7 +264,7 @@ class BandwidthService:
                     f"request body is not valid JSON: {exc}"
                 ) from exc
             response = await self.engine.execute_payload(
-                payload, sweep=(path == "/sweep")
+                payload, sweep=(path == "/sweep"), deadline=deadline
             )
             # Hot repeats reuse the engine's encoded-bytes LRU instead
             # of rebuilding the envelope and re-serializing it.
@@ -247,11 +295,13 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 def _retry_headers(exc: BaseException) -> dict[str, str]:
-    if isinstance(exc, AdmissionError):
+    if isinstance(exc, (AdmissionError, BreakerOpenError)):
         return {"Retry-After": str(math.ceil(exc.retry_after_seconds))}
     return {}
 

@@ -24,7 +24,8 @@ The JSON schema (``/query``; ``/sweep`` replaces ``"B"`` with a list)::
       "n_groups": 2,            # partial only
       "class_sizes": [8, 8],    # kclass only
       "classes": [0.25, 0.75],  # criticality class mix (any scheme)
-      "tenure": 4               # mean burst length L >= 1 (any scheme)
+      "tenure": 4,              # mean burst length L >= 1 (any scheme)
+      "criticality": 0          # request criticality class (0 = highest)
     }
 
 ``classes`` and ``tenure`` thread through to the analytic priority
@@ -45,10 +46,14 @@ from repro.core.priority import validate_class_weights, validate_tenure
 from repro.core.request_models import RequestModel, UniformRequestModel
 from repro.exceptions import (
     AdmissionError,
+    BreakerOpenError,
+    ChaosError,
     ConfigurationError,
+    DeadlineExceededError,
     ModelError,
     QueryTooLargeError,
     ReproError,
+    ServiceStoppingError,
 )
 
 __all__ = [
@@ -78,10 +83,14 @@ _NETWORK_FIELDS = {"n_groups": "partial", "class_sizes": "kclass"}
 _ARBITRATION_FIELDS = ("classes", "tenure")
 
 _KNOWN_FIELDS = frozenset(
-    {"scheme", "N", "M", "B", "bus_counts", "r", "model", "hierarchy"}
+    {"scheme", "N", "M", "B", "bus_counts", "r", "model", "hierarchy",
+     "criticality"}
     | set(_NETWORK_FIELDS)
     | set(_ARBITRATION_FIELDS)
 )
+
+#: Largest accepted criticality class number (0 = most critical).
+MAX_CRITICALITY = 15
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,6 +121,12 @@ class Query:
     clusters: int | None = None
     fractions: tuple[float, ...] | None = None
     network_kwargs: tuple[tuple[str, object], ...] = ()
+    #: Criticality class of the *request* (0 = most critical; unlabeled
+    #: requests default to 0 and are never brownout-shed).  Excluded
+    #: from equality/hash so labeling cannot split cache keys or defeat
+    #: coalescing — criticality routes the request, it does not change
+    #: the answer.
+    criticality: int = dataclasses.field(default=0, compare=False)
 
     @property
     def is_sweep(self) -> bool:
@@ -160,6 +175,20 @@ def _require_rate(payload: Mapping) -> float:
     if not 0.0 <= value <= 1.0:
         raise ConfigurationError(
             f"request rate must be in [0, 1], got {value}"
+        )
+    return value
+
+
+def _require_criticality(payload: Mapping) -> int:
+    value = payload.get("criticality", 0)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"field 'criticality' must be an integer, got {value!r}"
+        )
+    if not 0 <= value <= MAX_CRITICALITY:
+        raise ConfigurationError(
+            f"field 'criticality' must be in [0, {MAX_CRITICALITY}], "
+            f"got {value}"
         )
     return value
 
@@ -399,6 +428,7 @@ def parse_query(
         clusters=clusters,
         fractions=fractions,
         network_kwargs=network_kwargs,
+        criticality=_require_criticality(payload),
     )
 
 
@@ -424,10 +454,16 @@ def build_model(query: Query) -> RequestModel:
 
 def status_for(exc: BaseException) -> int:
     """HTTP status a failure maps to (500 for non-library errors)."""
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    if isinstance(exc, (BreakerOpenError, ServiceStoppingError)):
+        return 503
     if isinstance(exc, AdmissionError):
         return 429
     if isinstance(exc, QueryTooLargeError):
         return 413
+    if isinstance(exc, ChaosError):
+        return 500
     if isinstance(exc, (ConfigurationError, ModelError)):
         return 400
     if isinstance(exc, ReproError):
@@ -439,7 +475,9 @@ def error_envelope(exc: BaseException) -> tuple[int, dict]:
     """``(status, body)`` of the structured error envelope for ``exc``.
 
     The body never carries a traceback — only the exception type, its
-    message and, for shed requests, the deterministic retry-after hint.
+    message and, for shed/tripped requests, the deterministic
+    retry-after hint.  Deadline expiries (504) name the site that
+    observed them; breaker rejections (503) name the tripped breaker.
     """
     status = status_for(exc)
     error: dict[str, object] = {
@@ -450,4 +488,11 @@ def error_envelope(exc: BaseException) -> tuple[int, dict]:
     if isinstance(exc, AdmissionError):
         error["retry_after_s"] = round(exc.retry_after_seconds, 6)
         error["reason"] = exc.reason
+    elif isinstance(exc, BreakerOpenError):
+        error["retry_after_s"] = round(exc.retry_after_seconds, 6)
+        error["breaker"] = exc.name
+    elif isinstance(exc, DeadlineExceededError):
+        error["site"] = exc.site
+        if exc.budget_ms is not None:
+            error["budget_ms"] = exc.budget_ms
     return status, {"ok": False, "error": error}

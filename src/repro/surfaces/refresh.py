@@ -15,6 +15,14 @@ signature's hot entry — the serving path simply keeps answering from
 the engine's existing tiers (and re-detects the signature if traffic
 persists).  A refresher crash can therefore never take serving down
 with it.
+
+A :class:`~repro.resilience.breaker.CircuitBreaker` wraps the
+materialization tier: repeated failures open it and subsequent cycles
+*skip* materialization entirely until the deterministic probe delay
+elapses — already-published surfaces keep serving (stale but within the
+interpolation bound) instead of the refresher hammering a broken
+dependency.  The ``surfaces.refresh`` chaos site's ``stale_surface``
+kind forces the same skip for one cycle.
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from __future__ import annotations
 import asyncio
 
 from repro.obs.metrics import get_registry
+from repro.resilience import chaos
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
 from repro.resilience.retry import RetryPolicy, retry_call
 from repro.surfaces.store import SurfaceStore
 
@@ -41,6 +51,10 @@ class SurfaceRefresher:
     retry_policy:
         Applied around each materialization; the default retries twice
         with a short deterministic backoff.
+    breaker:
+        The materialization circuit breaker; defaults to opening after
+        two failed cycles in a four-cycle window with the standard
+        deterministic probe schedule.
     """
 
     def __init__(
@@ -48,15 +62,21 @@ class SurfaceRefresher:
         store: SurfaceStore,
         interval: float = 2.0,
         retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.store = store
         self.interval = float(interval)
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=2, backoff_seconds=0.05
         )
+        self.breaker = breaker or CircuitBreaker(
+            "surfaces.refresh",
+            policy=BreakerPolicy(failure_threshold=2, window_size=4),
+        )
         self._task: asyncio.Task | None = None
         self._wake = asyncio.Event()
         self.cycles = 0
+        self.skipped_stale = 0
 
     def start(self) -> None:
         """Spawn the background task on the running loop (idempotent)."""
@@ -101,7 +121,20 @@ class SurfaceRefresher:
         registry = get_registry()
         loop = asyncio.get_running_loop()
         published = 0
+        stalled = chaos.inject("surfaces.refresh") == "stale_surface"
         for signature, rates in self.store.take_hot():
+            if stalled or not self.breaker.allow():
+                # Serve stale: the hot entry is dropped, published
+                # surfaces keep answering, and traffic re-detects the
+                # signature once the stall/breaker clears.
+                self.skipped_stale += 1
+                registry.increment("surfaces.refresh", status="stale")
+                registry.record_event(
+                    "surfaces.refresh_stale",
+                    signature=signature.short(),
+                    reason="chaos" if stalled else "breaker-open",
+                )
+                continue
             try:
                 version = await loop.run_in_executor(
                     None,
@@ -114,6 +147,7 @@ class SurfaceRefresher:
                     ),
                 )
             except Exception as exc:
+                self.breaker.record_failure()
                 registry.increment("surfaces.refresh", status="error")
                 registry.record_event(
                     "surfaces.refresh_failed",
@@ -121,6 +155,7 @@ class SurfaceRefresher:
                     error=repr(exc),
                 )
                 continue
+            self.breaker.record_success()
             published += 1
             registry.increment("surfaces.refresh", status="ok")
             registry.record_event(

@@ -97,7 +97,11 @@ class SurfaceStore:
 
     # -- serving ------------------------------------------------------
 
-    def lookup(self, query: Query) -> tuple[float | None, str]:
+    def lookup(
+        self,
+        query: Query,
+        allow_interpolation: bool | None = None,
+    ) -> tuple[float | None, str]:
         """Answer a single-cell query from its surface, if possible.
 
         Returns ``(value, kind)`` with ``kind`` one of ``"exact"``
@@ -105,6 +109,12 @@ class SurfaceStore:
         reason (``"sweep"``, ``"unpublished"``, ``"off_surface"``) with
         ``value=None``.  Misses and interpolations feed hot-signature
         detection.
+
+        ``allow_interpolation`` overrides the store's ``interpolate``
+        setting for this one lookup — the brownout governor forces it
+        on under overload so an exact-only store still serves
+        approximate (within the 2e-3 interpolation bound) answers
+        instead of spending compute.
         """
         if query.is_sweep:
             return None, "sweep"
@@ -120,7 +130,12 @@ class SurfaceStore:
         if value is not None:
             registry.increment("surfaces.lookups", result="exact")
             return value, "exact"
-        if self.interpolate:
+        interpolate = (
+            self.interpolate
+            if allow_interpolation is None
+            else allow_interpolation
+        )
+        if interpolate:
             value = surface.interpolate(n_buses, query.rate)
             if value is not None:
                 # Served, but off-grid: remember the rate so a refresh

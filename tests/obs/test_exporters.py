@@ -203,6 +203,7 @@ class TestManifest:
             "pool_respawns": 1,
             "stall_timeouts": 1,
             "quarantined_cache_files": 1,
+            "deadline_exceeded": {},
         }
 
     def test_faults_section_digests_fault_counters(self):

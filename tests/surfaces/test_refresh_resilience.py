@@ -1,0 +1,153 @@
+"""Refresher under chaos and breaker pressure: stale-but-served.
+
+A stalled refresher (injected ``stale_surface`` or an open
+materialization breaker) must skip the cycle, keep every published
+surface serving, and answer off-grid rates by interpolation within the
+2e-3 acceptance bound — never block or crash the serving path.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.batch import scheme_bus_profile
+from repro.resilience import chaos
+from repro.resilience.breaker import BreakerPolicy, CircuitBreaker
+from repro.resilience.chaos import FaultPlan, FaultRule, chaos_plan
+from repro.resilience.retry import RetryPolicy
+from repro.service.protocol import build_model, parse_query
+from repro.surfaces import (
+    LocalArena,
+    SurfaceRefresher,
+    SurfaceStore,
+    signature_of,
+)
+
+
+def _query(**overrides):
+    payload = {"scheme": "full", "N": 8, "M": 8, "B": 3, "r": 0.5}
+    payload.update(overrides)
+    return parse_query(payload)
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    yield
+    chaos.uninstall_plan()
+
+
+class FakeClock:
+    def __init__(self, start=10.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestChaosStall:
+    def test_stale_surface_injection_skips_the_cycle(self):
+        store = SurfaceStore(arena=LocalArena(), hot_threshold=1)
+        refresher = SurfaceRefresher(store, interval=60.0)
+        plan = FaultPlan(rules=(
+            FaultRule(site="surfaces.refresh", kind="stale_surface",
+                      calls=(1,)),
+        ))
+
+        async def main():
+            with telemetry() as registry:
+                store.lookup(_query())  # goes hot
+                with chaos_plan(plan):
+                    published = await refresher.refresh_once()
+                assert published == 0
+                assert refresher.skipped_stale == 1
+                (event,) = [
+                    e for e in registry.events()
+                    if e["kind"] == "surfaces.refresh_stale"
+                ]
+                assert event["reason"] == "chaos"
+            # The surface was never published; serving falls through to
+            # the normal tiers and traffic re-detects the signature.
+            assert store.lookup(_query()) == (None, "unpublished")
+            store.lookup(_query())  # hot again
+            assert await refresher.refresh_once() == 1
+            assert store.lookup(_query())[1] == "exact"
+
+        asyncio.run(main())
+
+    def test_stalled_refresh_still_serves_interpolated_answers(self):
+        store = SurfaceStore(arena=LocalArena(), hot_threshold=1)
+        refresher = SurfaceRefresher(store, interval=60.0)
+        store.materialize(signature_of(_query()))
+        plan = FaultPlan(rules=(
+            FaultRule(site="surfaces.refresh", kind="stale_surface",
+                      every=1),
+        ))
+
+        async def main():
+            # The off-grid rate goes hot, but every refresh cycle is
+            # stalled — the refinement never materializes.
+            value, kind = store.lookup(_query(r=0.47))
+            with chaos_plan(plan):
+                for _ in range(3):
+                    await refresher.refresh_once()
+            assert refresher.skipped_stale >= 1
+            stale_value, stale_kind = store.lookup(_query(r=0.47))
+            assert stale_kind == "interpolated"
+            assert stale_value == value  # unchanged: stale but served
+            truth = scheme_bus_profile(
+                "full", 8, 8, [3], build_model(_query(r=0.47))
+            ).values[3]
+            assert stale_value == pytest.approx(truth, abs=2e-3)
+
+        asyncio.run(main())
+
+
+class TestBreakerStall:
+    def test_breaker_opens_after_repeated_failures_then_recovers(self):
+        clock = FakeClock()
+        store = SurfaceStore(arena=LocalArena(), hot_threshold=1)
+        breaker = CircuitBreaker(
+            "surfaces.refresh",
+            policy=BreakerPolicy(failure_threshold=2, window_size=4),
+            clock=clock,
+        )
+        refresher = SurfaceRefresher(
+            store,
+            retry_policy=RetryPolicy(max_attempts=1, backoff_seconds=0.0),
+            breaker=breaker,
+        )
+        real_materialize = store.materialize
+
+        def failing(signature, extra_rates=()):
+            raise RuntimeError("arena on fire")
+
+        store.materialize = failing
+
+        async def main():
+            with telemetry() as registry:
+                for _ in range(2):  # two failed cycles trip the breaker
+                    store.lookup(_query())
+                    assert await refresher.refresh_once() == 0
+                assert not breaker.allow()
+                # While open, the cycle skips materialization entirely.
+                store.lookup(_query())
+                assert await refresher.refresh_once() == 0
+                assert refresher.skipped_stale == 1
+                (event,) = [
+                    e for e in registry.events()
+                    if e["kind"] == "surfaces.refresh_stale"
+                ]
+                assert event["reason"] == "breaker-open"
+                # Dependency heals; the probe succeeds and closes it.
+                store.materialize = real_materialize
+                clock.advance(60.0)
+                store.lookup(_query())
+                assert await refresher.refresh_once() == 1
+                assert breaker.state == "closed"
+            assert store.lookup(_query())[1] == "exact"
+
+        asyncio.run(main())

@@ -1,0 +1,177 @@
+"""Boot ``repro-serve`` under a chaos plan and assert its failure contract.
+
+Run by the CI ``resilience-smoke`` job (and runnable locally with
+``PYTHONPATH=src python tools/resilience_smoke.py``).  The script starts
+a real server with a deterministic :class:`~repro.resilience.chaos.FaultPlan`
+installed and walks the resilience envelopes end to end:
+
+1. an injected ``service.http`` error surfaces as a scrubbed 500
+   ``ChaosError`` envelope (never a traceback);
+2. a request carrying ``X-Repro-Deadline-Ms`` smaller than the batch
+   window comes back as a structured 504 *within* its budget;
+3. injected ``service.batch`` flush faults feed the batch breaker's
+   failure window until it opens, after which a request fails fast with
+   a 503 ``BreakerOpenError`` and a ``Retry-After`` hint;
+4. ``GET /metrics`` exposes the open breaker gauge;
+5. after a graceful SIGINT shutdown, ``manifest.json`` carries the
+   ``chaos`` / ``breaker`` / ``brownout`` sections and the per-site
+   ``resilience.deadline_exceeded`` count.
+
+Exits nonzero on the first violated assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+BATCH_DELAY = 0.25
+PLAN = {
+    "seed": 7,
+    "rules": [
+        # First HTTP request dies inside the front-end.
+        {"site": "service.http", "kind": "error", "calls": [1]},
+        # Every batch flush fails until the breaker opens.
+        {"site": "service.batch", "kind": "error", "every": 1},
+    ],
+}
+
+
+def _request(port, payload=None, headers=None, path="/query"):
+    if payload is None:
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}", method="GET"
+        )
+    else:
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(payload).encode(),
+            headers=headers or {},
+            method="POST",
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _query(bus_count):
+    return {"scheme": "full", "N": 16, "M": 16, "B": bus_count, "r": 0.5}
+
+
+def main() -> int:
+    telemetry = Path("svc-telem")
+    telemetry.mkdir(exist_ok=True)
+    plan_path = telemetry / "chaos-plan.json"
+    plan_path.write_text(json.dumps(PLAN, indent=2))
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli",
+            "--port", "0",
+            "--batch-delay", str(BATCH_DELAY),
+            "--cache-size", "0",
+            "--chaos-plan", str(plan_path),
+            "--telemetry", str(telemetry),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = server.stdout.readline()
+        assert "listening on" in line, line
+        port = int(line.rsplit(":", 1)[1])
+
+        # 1. The chaos plan's first-call HTTP error: typed, scrubbed.
+        status, _, body = _request(port, _query(8))
+        envelope = json.loads(body)
+        assert status == 500, (status, envelope)
+        assert envelope["error"]["type"] == "ChaosError", envelope
+        assert envelope["error"]["message"] == "internal error", envelope
+
+        # 2. A 50ms deadline against a 250ms batch window: 504 within
+        #    budget, long before the window would have flushed.
+        started = time.perf_counter()
+        status, _, body = _request(
+            port, _query(8), headers={"X-Repro-Deadline-Ms": "50"}
+        )
+        elapsed = time.perf_counter() - started
+        envelope = json.loads(body)
+        assert status == 504, (status, envelope)
+        assert envelope["error"]["type"] == "DeadlineExceededError", envelope
+        assert envelope["error"]["site"] == "service.engine", envelope
+        assert envelope["error"]["budget_ms"] == 50.0, envelope
+        assert elapsed < BATCH_DELAY, elapsed
+        # Let the abandoned window flush (and fail) before continuing so
+        # every breaker failure below maps to exactly one request.
+        time.sleep(BATCH_DELAY * 2)
+
+        # 3. Two more failed flushes reach the default threshold (3)
+        #    and open the service.batch breaker; the next request fails
+        #    fast with a 503 and a Retry-After hint.
+        for bus_count in (9, 10):
+            status, _, body = _request(port, _query(bus_count))
+            envelope = json.loads(body)
+            assert status == 500, (status, envelope)
+            assert envelope["error"]["type"] == "ChaosError", envelope
+        status, headers, body = _request(port, _query(11))
+        envelope = json.loads(body)
+        assert status == 503, (status, envelope)
+        assert envelope["error"]["type"] == "BreakerOpenError", envelope
+        assert envelope["error"]["breaker"] == "service.batch", envelope
+        assert "Retry-After" in headers, headers
+
+        # 4. The open breaker is visible on the live metrics endpoint.
+        status, _, metrics = _request(port, path="/metrics")
+        assert status == 200, status
+        text = metrics.decode()
+        assert 'repro_breaker_open{breaker="service.batch"} 1' in text
+        assert "repro_breaker_rejected" in text
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            raise
+
+    # 5. Graceful shutdown wrote the manifest trio; check the
+    #    control-plane sections.
+    manifest = json.loads((telemetry / "manifest.json").read_text())
+    assert manifest["chaos"]["by_site"]["service.http"] == 1, (
+        manifest["chaos"]
+    )
+    assert manifest["chaos"]["by_site"]["service.batch"] == 3, (
+        manifest["chaos"]
+    )
+    assert manifest["chaos"]["by_kind"] == {"error": 4}, manifest["chaos"]
+    breaker = manifest["breaker"]
+    assert breaker["transition_totals"]["service.batch"] == 1, breaker
+    assert any(
+        t["breaker"] == "service.batch" and t["to"] == "open"
+        for t in breaker["transitions"]
+    ), breaker
+    assert breaker["rejected"]["service.batch"] >= 1, breaker
+    assert manifest["resilience"]["deadline_exceeded"] == {
+        "service.engine": 1
+    }, manifest["resilience"]
+    # The brownout governor ran (on by default) but stayed calm.
+    assert manifest["brownout"]["transitions"] == [], manifest["brownout"]
+    assert (telemetry / "events.jsonl").stat().st_size > 0
+    assert (telemetry / "metrics.prom").stat().st_size > 0
+    print("resilience smoke OK:", json.dumps({
+        "chaos": manifest["chaos"]["by_site"],
+        "breaker": breaker["transition_totals"],
+        "deadline_exceeded": manifest["resilience"]["deadline_exceeded"],
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
