@@ -281,6 +281,8 @@ _REASON_CODES = (
     ("divide the bus count", "groups_divide_buses"),
     ("classes require", "classes_exceed_buses"),
     ("sum to", "class_sizes_sum_mismatch"),
+    ("pins B=", "generator_pins_bus_count"),
+    ("pins M=", "generator_pins_module_count"),
 )
 
 
@@ -315,13 +317,20 @@ class BusProfile:
 
 #: Scheme-specific kwargs each batch path understands; anything else
 #: falls back to per-cell construction through the topology objects.
+#: ``custom`` additionally takes batch-layer-only knobs: ``fallback``
+#: ("auto" | "exact" | "simulate") and ``sim_cycles``.
 _BATCHABLE_KWARGS = {
     "full": frozenset(),
     "single": frozenset(),
     "partial": frozenset({"n_groups"}),
     "kclass": frozenset({"class_sizes"}),
     "crossbar": frozenset(),
+    "custom": frozenset({"generator", "fallback", "sim_cycles"}),
 }
+
+#: Above this module count the "auto" fallback for unrecognized custom
+#: structures switches from exact enumeration (O(2^M)) to simulation.
+_EXACT_FALLBACK_MAX = 12
 
 
 def valid_bus_counts(
@@ -535,6 +544,12 @@ def _scheme_bus_profile(
             )
     batchable = _BATCHABLE_KWARGS.get(scheme)
     if batchable is None or set(network_kwargs) - batchable:
+        if scheme == "custom":
+            unknown = sorted(set(network_kwargs) - batchable)
+            raise ConfigurationError(
+                f"unknown parameter(s) {unknown} for scheme 'custom'; "
+                f"allowed: {sorted(batchable)}"
+            )
         return _fallback_profile(
             scheme, n_processors, n_memories, bus_counts, model,
             **network_kwargs,
@@ -546,72 +561,80 @@ def _scheme_bus_profile(
     if not valid:
         return profile
     x = _symmetric_x(model)
+    return _PROFILE_EVALUATORS[scheme](
+        profile, n_processors, n_memories, valid, model, x, network_kwargs
+    )
 
-    if scheme == "crossbar":
-        # evaluate.analytic_bandwidth always takes the heterogeneous sum.
+
+def _profile_crossbar(profile, n_processors, n_memories, valid, model, x, kwargs):
+    # evaluate.analytic_bandwidth always takes the heterogeneous sum.
+    xs = model.module_request_probabilities()
+    value = float(
+        np.sum([validate_probability(float(v), "X_j") for v in xs])
+    )
+    profile.values = {b: value for b in valid}
+    return profile
+
+
+def _profile_full(profile, n_processors, n_memories, valid, model, x, kwargs):
+    if x is not None:
+        batch = bandwidth_full_batch(n_memories, valid, x)
+    else:
         xs = model.module_request_probabilities()
-        value = float(
-            np.sum([validate_probability(float(v), "X_j") for v in xs])
-        )
-        profile.values = {b: value for b in valid}
-        return profile
+        excess = tail_excess_all_buses(cached_poisson_binomial_pmf(xs))
+        total = float(xs.sum())
+        batch = total - excess[np.minimum(valid, n_memories)]
+    profile.values = {b: float(v) for b, v in zip(valid, batch)}
+    return profile
 
-    if scheme == "full":
-        if x is not None:
-            batch = bandwidth_full_batch(n_memories, valid, x)
-        else:
-            xs = model.module_request_probabilities()
-            excess = tail_excess_all_buses(cached_poisson_binomial_pmf(xs))
-            total = float(xs.sum())
-            batch = total - excess[np.minimum(valid, n_memories)]
-        profile.values = {b: float(v) for b, v in zip(valid, batch)}
-        return profile
 
-    if scheme == "partial":
-        n_groups = network_kwargs.get("n_groups", 2)
-        if x is not None:
-            batch = bandwidth_partial_batch(n_memories, valid, n_groups, x)
-        else:
-            xs = model.module_request_probabilities()
-            per_group = n_memories // n_groups
-            caps = np.minimum(np.asarray(valid) // n_groups, per_group)
-            batch = np.zeros(len(valid))
-            for q in range(n_groups):
-                group = xs[q * per_group : (q + 1) * per_group]
-                excess = tail_excess_all_buses(
-                    cached_poisson_binomial_pmf(group)
-                )
-                batch += float(group.sum()) - excess[caps]
-        profile.values = {b: float(v) for b, v in zip(valid, batch)}
-        return profile
-
-    if scheme == "single":
-        if x is not None:
-            batch = bandwidth_single_batch(n_memories, valid, x)
-            profile.values = {b: float(v) for b, v in zip(valid, batch)}
-        else:
-            xs = model.module_request_probabilities()
-            miss_factors = 1.0 - np.asarray(
-                [validate_probability(float(v), "X_j") for v in xs]
+def _profile_partial(profile, n_processors, n_memories, valid, model, x, kwargs):
+    n_groups = kwargs.get("n_groups", 2)
+    if x is not None:
+        batch = bandwidth_partial_batch(n_memories, valid, n_groups, x)
+    else:
+        xs = model.module_request_probabilities()
+        per_group = n_memories // n_groups
+        caps = np.minimum(np.asarray(valid) // n_groups, per_group)
+        batch = np.zeros(len(valid))
+        for q in range(n_groups):
+            group = xs[q * per_group : (q + 1) * per_group]
+            excess = tail_excess_all_buses(
+                cached_poisson_binomial_pmf(group)
             )
-            for b in valid:
-                base, extra = divmod(n_memories, b)
-                counts = np.full(b, base)
-                counts[:extra] += 1
-                starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-                miss = np.multiply.reduceat(miss_factors, starts)
-                profile.values[b] = float(b - miss.sum())
-        return profile
+            batch += float(group.sum()) - excess[caps]
+    profile.values = {b: float(v) for b, v in zip(valid, batch)}
+    return profile
 
-    # scheme == "kclass"
-    class_sizes = network_kwargs.get("class_sizes")
+
+def _profile_single(profile, n_processors, n_memories, valid, model, x, kwargs):
+    if x is not None:
+        batch = bandwidth_single_batch(n_memories, valid, x)
+        profile.values = {b: float(v) for b, v in zip(valid, batch)}
+    else:
+        xs = model.module_request_probabilities()
+        miss_factors = 1.0 - np.asarray(
+            [validate_probability(float(v), "X_j") for v in xs]
+        )
+        for b in valid:
+            base, extra = divmod(n_memories, b)
+            counts = np.full(b, base)
+            counts[:extra] += 1
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            miss = np.multiply.reduceat(miss_factors, starts)
+            profile.values[b] = float(b - miss.sum())
+    return profile
+
+
+def _profile_kclass(profile, n_processors, n_memories, valid, model, x, kwargs):
+    class_sizes = kwargs.get("class_sizes")
     if class_sizes is not None:
         sizes = [int(s) for s in class_sizes]
         if sum(sizes) != n_memories:
             # build_network would reject every cell; mirror as skips.
             profile.skipped = profile.skipped + [
                 SkippedCell(
-                    scheme,
+                    "kclass",
                     b,
                     f"class sizes {sizes} sum to {sum(sizes)}, expected "
                     f"M={n_memories}",
@@ -640,6 +663,105 @@ def _scheme_bus_profile(
         )
         profile.values[b] = bandwidth_kclass(sizes, b, request)
     return profile
+
+
+def _profile_custom(profile, n_processors, n_memories, valid, model, x, kwargs):
+    """Evaluate a generator spec across bus counts.
+
+    Per count: instantiate the structure, try the recognizer, and route
+    recognized cells through the closed-form evaluators above (grouped so
+    each recognized ``(scheme, kwargs)`` pays one batched call — values
+    are bit-identical to calling :func:`scheme_bus_profile` on the
+    recognized scheme directly).  Unrecognized cells use exact
+    enumeration (``M <= {exact_max}`` under ``fallback="auto"``) or the
+    memoized-matching Monte-Carlo backend, whose seed derives from the
+    structure digest so results are reproducible across processes.
+    Recognition outcomes feed the ``topology.recognized`` /
+    ``topology.fallback`` telemetry counters (surfaced in the obs
+    manifest's ``topology`` section).
+    """
+    from repro.topology.generators import generate_structure
+    from repro.topology.recognize import recognize_cached
+
+    spec = kwargs.get("generator")
+    if spec is None:
+        raise ConfigurationError(
+            "scheme 'custom' requires a 'generator' spec "
+            "(see repro.topology.generators)"
+        )
+    fallback_mode = kwargs.get("fallback", "auto")
+    if fallback_mode not in ("auto", "exact", "simulate"):
+        raise ConfigurationError(
+            f"fallback must be 'auto', 'exact' or 'simulate', got {fallback_mode!r}"
+        )
+    sim_cycles = kwargs.get("sim_cycles", 20_000)
+    if isinstance(sim_cycles, bool) or not isinstance(sim_cycles, int) or sim_cycles < 1:
+        raise ConfigurationError(
+            f"sim_cycles must be a positive integer, got {sim_cycles!r}"
+        )
+    registry = get_registry()
+    recognized_groups: dict[tuple, list[int]] = {}
+    generic: list[tuple[int, object]] = []
+    for b in valid:
+        try:
+            structure = generate_structure(spec, n_processors, n_memories, b)
+        except ConfigurationError as exc:
+            profile.skipped.append(SkippedCell("custom", b, str(exc)))
+            continue
+        recognition = recognize_cached(structure)
+        if recognition is not None and (recognition.module_safe or x is not None):
+            key = (recognition.scheme, recognition.network_kwargs)
+            recognized_groups.setdefault(key, []).append(b)
+            registry.increment("topology.recognized", scheme=recognition.scheme)
+        else:
+            generic.append((b, structure))
+    for (scheme, scheme_kwargs), counts in recognized_groups.items():
+        sub = _scheme_bus_profile(
+            scheme, n_processors, n_memories, counts, model,
+            **{name: value for name, value in scheme_kwargs},
+        )
+        profile.values.update(sub.values)
+        profile.skipped.extend(
+            SkippedCell("custom", cell.n_buses, cell.reason)
+            for cell in sub.skipped
+        )
+    for b, structure in generic:
+        if fallback_mode == "auto":
+            method = "exact" if n_memories <= _EXACT_FALLBACK_MAX else "simulate"
+        else:
+            method = fallback_mode
+        if method == "exact":
+            from repro.core.exact import exact_bandwidth
+            from repro.topology.structure import StructureNetwork
+
+            profile.values[b] = float(
+                exact_bandwidth(StructureNetwork(structure), model)
+            )
+        else:
+            from repro.simulation.structure import simulate_structure_bandwidth
+
+            result = simulate_structure_bandwidth(
+                structure, model, n_cycles=sim_cycles
+            )
+            profile.values[b] = result.bandwidth
+        registry.increment("topology.fallback", method=method)
+    return profile
+
+
+_profile_custom.__doc__ = _profile_custom.__doc__.format(
+    exact_max=_EXACT_FALLBACK_MAX
+)
+
+#: Scheme -> batched profile evaluator; the single dispatch point that
+#: replaced the old per-scheme if-chain.
+_PROFILE_EVALUATORS = {
+    "crossbar": _profile_crossbar,
+    "full": _profile_full,
+    "partial": _profile_partial,
+    "single": _profile_single,
+    "kclass": _profile_kclass,
+    "custom": _profile_custom,
+}
 
 
 # ----------------------------------------------------------------------

@@ -27,8 +27,9 @@ from repro.topology.kclass import KClassPartialBusNetwork
 from repro.topology.network import MultipleBusNetwork
 from repro.topology.partial import PartialBusNetwork
 from repro.topology.single import SingleBusMemoryNetwork
+from repro.topology.structure import StructureNetwork
 
-__all__ = ["analytic_bandwidth"]
+__all__ = ["analytic_bandwidth", "reference_bandwidth"]
 
 
 def _check_dimensions(network: MultipleBusNetwork, model: RequestModel) -> None:
@@ -67,6 +68,24 @@ def analytic_bandwidth(
     except ModelError:
         symmetric = False
 
+    if isinstance(network, StructureNetwork):
+        recognition = network.recognition()
+        if recognition is not None and (recognition.module_safe or symmetric):
+            from repro.topology.factory import build_network
+
+            equivalent = build_network(
+                recognition.scheme,
+                network.n_processors,
+                network.n_memories,
+                network.n_buses,
+                **recognition.kwargs(),
+            )
+            return analytic_bandwidth(equivalent, model)
+        raise ConfigurationError(
+            f"custom structure {network.structure.short()} does not reduce to "
+            "a closed-form scheme; use exact_bandwidth (M <= 16) or the "
+            "simulator"
+        )
     if isinstance(network, CrossbarNetwork):
         return bandwidth_crossbar_heterogeneous(
             model.module_request_probabilities()
@@ -122,3 +141,27 @@ def analytic_bandwidth(
     raise ConfigurationError(
         f"no closed form for scheme {network.scheme!r}; use the simulator"
     )
+
+
+def reference_bandwidth(
+    network: MultipleBusNetwork, model: RequestModel
+) -> float | None:
+    """Best available reference value for a (network, model) pair.
+
+    Identical to :func:`analytic_bandwidth` for the paper's schemes.  For
+    custom structures without a recognized closed form it falls back to
+    exact enumeration when small enough (``M <= 16``) and otherwise
+    returns ``None`` -- callers that record an analytic baseline next to
+    simulation output (e.g. sweep cells) use this so custom topologies
+    stay evaluable end-to-end.
+    """
+    if not isinstance(network, StructureNetwork):
+        return analytic_bandwidth(network, model)
+    try:
+        return analytic_bandwidth(network, model)
+    except ConfigurationError:
+        if network.n_memories <= 16:
+            from repro.core.exact import exact_bandwidth
+
+            return exact_bandwidth(network, model)
+        return None

@@ -46,7 +46,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.analysis.evaluate import analytic_bandwidth
+from repro.analysis.evaluate import reference_bandwidth
 from repro.analysis.sweep import paper_model_pair
 from repro.core.request_models import RequestModel
 from repro.exceptions import ConfigurationError, RetryExhaustedError
@@ -601,7 +601,7 @@ def _simulated_cell(spec: dict) -> dict[str, object]:
     """Worker: simulate one sweep cell (module-level, picklable).
 
     The ``analytic`` reference value normally comes from a local
-    :func:`~repro.analysis.evaluate.analytic_bandwidth` call; when a
+    :func:`~repro.analysis.evaluate.reference_bandwidth` call; when a
     surface arena is advertised through ``REPRO_SURFACES_PREFIX`` (see
     :func:`repro.surfaces.store.sweep_analytic_from_env`) and the cell
     lands on a published gridpoint, it is read zero-copy from shared
@@ -631,7 +631,9 @@ def _simulated_cell(spec: dict) -> dict[str, object]:
 
         analytic = sweep_analytic_from_env(spec)
     if analytic is None:
-        analytic = analytic_bandwidth(network, model)
+        # Paper schemes resolve to the closed forms; custom structures
+        # fall back to exact enumeration (small M) or ``None``.
+        analytic = reference_bandwidth(network, model)
     return {
         "scheme": spec["scheme"],
         "N": spec["N"],

@@ -250,6 +250,33 @@ class MatchingBusAssignment(BusAssignmentPolicy):
         return grants
 
 
+class StructureMatchingAssignment(BusAssignmentPolicy):
+    """Memoized maximum-matching arbiter for custom incidence structures.
+
+    Functionally equivalent to :class:`MatchingBusAssignment` (same grant
+    count: a maximum matching), but deterministic in which buses carry
+    which modules and memoized by requested-set bitmask, so long
+    simulations over a fixed :class:`StructureNetwork` pay one Kuhn
+    matching per *distinct* requested set rather than per cycle.
+    """
+
+    def __init__(self, memory_bus_matrix: np.ndarray):
+        from repro.topology.structure import MatchingOracle
+
+        memory_bus_matrix = np.asarray(memory_bus_matrix, dtype=bool)
+        if memory_bus_matrix.ndim != 2:
+            raise ConfigurationError("memory_bus_matrix must be 2-D")
+        super().__init__(*memory_bus_matrix.shape)
+        self._oracle = MatchingOracle(memory_bus_matrix)
+
+    def assign(
+        self, requested_modules: Sequence[int], rng: np.random.Generator
+    ) -> dict[int, int]:
+        if not requested_modules:
+            return {}
+        return self._oracle.grants(requested_modules)
+
+
 # ---------------------------------------------------------------------------
 # Priority stage two: criticality-aware bus assignment
 # ---------------------------------------------------------------------------

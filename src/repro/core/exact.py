@@ -36,6 +36,7 @@ from repro.topology.kclass import KClassPartialBusNetwork
 from repro.topology.network import MultipleBusNetwork
 from repro.topology.partial import PartialBusNetwork
 from repro.topology.single import SingleBusMemoryNetwork
+from repro.topology.structure import StructureNetwork
 
 __all__ = [
     "requested_set_distribution",
@@ -128,6 +129,11 @@ def _served_per_subset(
     counts = _popcounts(n_subsets)
     subsets = np.arange(n_subsets)
 
+    if isinstance(network, StructureNetwork):
+        # Generic incidence structure: a requested set is served up to its
+        # maximum bipartite matching against the buses (see
+        # repro.topology.structure for why matching is the reference rule).
+        return _matching_served_per_subset(network.memory_bus_matrix(), n_subsets)
     if isinstance(network, CrossbarNetwork):
         return counts.astype(float)
     if isinstance(network, KClassPartialBusNetwork):
@@ -175,6 +181,41 @@ def _served_per_subset(
     raise ConfigurationError(
         f"no exact served-count rule for scheme {network.scheme!r}"
     )
+
+
+def _matching_served_per_subset(memory_bus: np.ndarray, n_subsets: int) -> np.ndarray:
+    """Maximum-matching served counts for every subset, by lattice DP.
+
+    Walking subsets in ascending order, each subset ``T`` extends its
+    parent ``T`` minus its lowest module by one augmenting path, so the
+    whole table costs one Kuhn augmentation per subset instead of a full
+    matching per subset.
+    """
+    adjacency = [[int(i) for i in np.flatnonzero(row)] for row in memory_bus]
+    n_buses = int(memory_bus.shape[1])
+    served = np.zeros(n_subsets)
+    matchings: list = [None] * n_subsets
+    matchings[0] = [None] * n_buses
+
+    def augment(match_of_bus: list, module: int, visited: set) -> bool:
+        for bus in adjacency[module]:
+            if bus in visited:
+                continue
+            visited.add(bus)
+            holder = match_of_bus[bus]
+            if holder is None or augment(match_of_bus, holder, visited):
+                match_of_bus[bus] = module
+                return True
+        return False
+
+    for t in range(1, n_subsets):
+        low = t & (-t)
+        module = low.bit_length() - 1
+        match_of_bus = list(matchings[t ^ low])
+        grew = augment(match_of_bus, module, set())
+        matchings[t] = match_of_bus
+        served[t] = served[t ^ low] + (1.0 if grew else 0.0)
+    return served
 
 
 def _popcounts_masked(subsets: np.ndarray, mask: int) -> np.ndarray:

@@ -23,6 +23,7 @@ from repro.experiments import (
     figures,
     nxm,
     resubmission,
+    structures,
     table1,
     table2,
     table3,
@@ -56,6 +57,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "approximation": approximation.run,
     "availability": availability.run,
     "arbitration": arbitration.run,
+    "structures": structures.run,
 }
 
 

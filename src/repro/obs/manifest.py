@@ -334,6 +334,32 @@ def _fabric_section(registry: MetricsRegistry) -> dict[str, object]:
     }
 
 
+def _topology_section(registry: MetricsRegistry) -> dict[str, object]:
+    """Custom-topology digest: recognition outcomes and fallback counts.
+
+    ``recognized`` tallies custom structures routed to a closed-form
+    scheme, ``fallbacks`` those evaluated by enumeration/simulation —
+    together they answer "did the fast path actually fire?" for a run
+    that sweeps generated topologies.
+    """
+    cache = _labelled_totals(registry, "topology.recognition_cache", "result")
+    hits = cache.get("hit", 0)
+    misses = cache.get("miss", 0)
+    lookups = hits + misses
+    return {
+        "recognized": _labelled_totals(
+            registry, "topology.recognized", "scheme"
+        ),
+        "fallbacks": _labelled_totals(registry, "topology.fallback", "method"),
+        "generated": _labelled_totals(registry, "topology.generated", "kind"),
+        "recognition_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 6) if lookups else 0.0,
+        },
+    }
+
+
 def _counters_section(registry: MetricsRegistry) -> dict[str, object]:
     flat: dict[str, object] = {}
     for (name, labels), value in registry.counters().items():
@@ -380,6 +406,7 @@ def build_manifest(
         "service": _service_section(registry),
         "surfaces": _surfaces_section(registry),
         "arbitration": _arbitration_section(registry),
+        "topology": _topology_section(registry),
         "fabric": _fabric_section(registry),
         "breaker": _breaker_section(registry),
         "brownout": _brownout_section(registry),

@@ -17,12 +17,15 @@ traceback.
 The JSON schema (``/query``; ``/sweep`` replaces ``"B"`` with a list)::
 
     {
-      "scheme": "full" | "single" | "partial" | "kclass" | "crossbar",
+      "scheme": "full" | "single" | "partial" | "kclass" | "crossbar"
+                | "custom",
       "N": 16, "M": 16, "B": 8, "r": 0.5,
       "model": "unif" | "hier",
       "hierarchy": {"clusters": 4, "fractions": [0.6, 0.3, 0.1]},
       "n_groups": 2,            # partial only
       "class_sizes": [8, 8],    # kclass only
+      "generator": {"kind": "mesh_rowcol", "rows": 4, "cols": 4},
+                                # custom only (repro.topology.generators)
       "classes": [0.25, 0.75],  # criticality class mix (any scheme)
       "tenure": 4,              # mean burst length L >= 1 (any scheme)
       "criticality": 0          # request criticality class (0 = highest)
@@ -66,7 +69,7 @@ __all__ = [
     "error_envelope",
 ]
 
-SCHEMES = ("full", "single", "partial", "kclass", "crossbar")
+SCHEMES = ("full", "single", "partial", "kclass", "crossbar", "custom")
 
 _MODEL_ALIASES = {
     "unif": "unif",
@@ -76,6 +79,8 @@ _MODEL_ALIASES = {
 }
 
 #: Query fields that become network kwargs, with their target scheme.
+#: ``generator`` (custom) is parsed separately: its canonical form is a
+#: nested tuple carrying the whole structure spec.
 _NETWORK_FIELDS = {"n_groups": "partial", "class_sizes": "kclass"}
 
 #: Arbitration knobs accepted for every scheme; degenerate values are
@@ -84,7 +89,7 @@ _ARBITRATION_FIELDS = ("classes", "tenure")
 
 _KNOWN_FIELDS = frozenset(
     {"scheme", "N", "M", "B", "bus_counts", "r", "model", "hierarchy",
-     "criticality"}
+     "criticality", "generator"}
     | set(_NETWORK_FIELDS)
     | set(_ARBITRATION_FIELDS)
 )
@@ -326,6 +331,51 @@ def _parse_network_kwargs(
     return tuple(kwargs)
 
 
+def _parse_generator_kwargs(
+    payload: Mapping, scheme: str, limits: ServiceLimits
+) -> tuple[tuple[str, object], ...]:
+    """Validate the ``generator`` spec of a ``custom`` query.
+
+    The spec is normalized to its canonical tuple form (defaults filled,
+    fields sorted, lists frozen), so two spellings of the same generator
+    hash — and therefore cache and coalesce — identically, and the
+    structure content participates in the cache key (the matrix kind
+    embeds the full incidence matrix; the seeded kinds embed seed and
+    dimensions, which determine the structure).
+    """
+    if "generator" not in payload:
+        if scheme == "custom":
+            raise ConfigurationError(
+                "scheme 'custom' requires a 'generator' spec"
+            )
+        return ()
+    if scheme != "custom":
+        raise ConfigurationError(
+            f"field 'generator' only applies to scheme 'custom', not {scheme!r}"
+        )
+    spec = payload["generator"]
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"field 'generator' must be an object, got {type(spec).__name__}"
+        )
+    matrix = spec.get("memory_bus")
+    if isinstance(matrix, (list, tuple)):
+        if len(matrix) > limits.max_machine:
+            raise QueryTooLargeError(
+                f"generator memory_bus lists {len(matrix)} rows, limit is "
+                f"{limits.max_machine}"
+            )
+        widths = [len(row) for row in matrix if isinstance(row, (list, tuple))]
+        if widths and max(widths) > limits.max_machine:
+            raise QueryTooLargeError(
+                f"generator memory_bus rows list up to {max(widths)} buses, "
+                f"limit is {limits.max_machine}"
+            )
+    from repro.topology.generators import canonical_generator_spec
+
+    return (("generator", canonical_generator_spec(spec)),)
+
+
 def _parse_arbitration_kwargs(
     payload: Mapping, n_processors: int
 ) -> tuple[tuple[str, object], ...]:
@@ -415,6 +465,7 @@ def parse_query(
     network_kwargs = tuple(
         sorted(
             _parse_network_kwargs(payload, scheme, n_memories, limits)
+            + _parse_generator_kwargs(payload, scheme, limits)
             + _parse_arbitration_kwargs(payload, n_processors)
         )
     )

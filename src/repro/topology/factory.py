@@ -19,8 +19,43 @@ from repro.topology.kclass import KClassPartialBusNetwork
 from repro.topology.network import MultipleBusNetwork
 from repro.topology.partial import PartialBusNetwork
 from repro.topology.single import SingleBusMemoryNetwork
+from repro.topology.structure import StructureNetwork
 
 __all__ = ["build_network", "equal_class_sizes", "paper_figure_networks"]
+
+#: Keyword arguments each scheme accepts; anything else is a typed error.
+_SCHEME_KWARGS: dict[str, frozenset] = {
+    "full": frozenset(),
+    "single": frozenset({"bus_of_module"}),
+    "partial": frozenset({"n_groups"}),
+    "kclass": frozenset({"class_sizes", "class_of_module"}),
+    "crossbar": frozenset(),
+    "custom": frozenset({"generator"}),
+}
+
+
+def _strict_int(value, name: str) -> int:
+    """Validate an integral parameter without silent coercion.
+
+    ``bool`` and floats are rejected (``int(2.7)`` would silently
+    truncate); NumPy integer scalars pass through ``__index__``.
+    """
+    if isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    try:
+        return int(value.__index__())
+    except (AttributeError, TypeError):
+        raise ConfigurationError(
+            f"{name} must be an integer, got {type(value).__name__} {value!r}"
+        ) from None
+
+
+def _strict_int_sequence(value, name: str):
+    if isinstance(value, (str, bytes)) or not hasattr(value, "__iter__"):
+        raise ConfigurationError(
+            f"{name} must be a sequence of integers, got {value!r}"
+        )
+    return [_strict_int(item, f"{name}[{index}]") for index, item in enumerate(value)]
 
 
 def equal_class_sizes(n_memories: int, n_classes: int) -> list[int]:
@@ -51,36 +86,81 @@ def build_network(
     Parameters
     ----------
     scheme:
-        ``"full"``, ``"single"``, ``"partial"``, ``"kclass"`` or
-        ``"crossbar"``.
+        ``"full"``, ``"single"``, ``"partial"``, ``"kclass"``,
+        ``"crossbar"`` or ``"custom"``.
     kwargs:
         Scheme-specific overrides: ``bus_of_module`` (single),
         ``n_groups`` (partial, default 2), ``class_sizes`` and
-        ``class_of_module`` (kclass, default ``K = B`` equal classes).
+        ``class_of_module`` (kclass, default ``K = B`` equal classes),
+        ``generator`` (custom: a generator spec, see
+        :mod:`repro.topology.generators`).
+
+    Every parameter is strictly validated: unknown keyword arguments and
+    non-integral spellings (floats, booleans) raise a typed
+    :class:`ConfigurationError` instead of being silently coerced.
     """
+    allowed = _SCHEME_KWARGS.get(scheme)
+    if allowed is None:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; expected full/single/partial/"
+            "kclass/crossbar/custom"
+        )
+    unknown = sorted(set(kwargs) - allowed)
+    if unknown:
+        if allowed:
+            hint = f"allowed: {sorted(allowed)}"
+        else:
+            hint = "this scheme takes no extra parameters"
+        raise ConfigurationError(
+            f"unknown parameter(s) {unknown} for scheme {scheme!r}; {hint}"
+        )
+    n_processors = _strict_int(n_processors, "number of processors")
+    n_memories = _strict_int(n_memories, "number of memory modules")
+    n_buses = _strict_int(n_buses, "number of buses")
     if scheme == "full":
-        return FullBusMemoryNetwork(n_processors, n_memories, n_buses, **kwargs)
+        return FullBusMemoryNetwork(n_processors, n_memories, n_buses)
     if scheme == "single":
+        if "bus_of_module" in kwargs:
+            kwargs["bus_of_module"] = _strict_int_sequence(
+                kwargs["bus_of_module"], "bus_of_module"
+            )
         return SingleBusMemoryNetwork(n_processors, n_memories, n_buses, **kwargs)
     if scheme == "partial":
-        kwargs.setdefault("n_groups", 2)
-        return PartialBusNetwork(n_processors, n_memories, n_buses, **kwargs)
+        n_groups = kwargs.get("n_groups", 2)
+        return PartialBusNetwork(
+            n_processors,
+            n_memories,
+            n_buses,
+            n_groups=_strict_int(n_groups, "n_groups"),
+        )
     if scheme == "kclass":
-        if "class_sizes" not in kwargs:
+        if "class_sizes" in kwargs:
+            kwargs["class_sizes"] = _strict_int_sequence(
+                kwargs["class_sizes"], "class_sizes"
+            )
+        else:
             kwargs["class_sizes"] = equal_class_sizes(n_memories, n_buses)
+        if "class_of_module" in kwargs:
+            kwargs["class_of_module"] = _strict_int_sequence(
+                kwargs["class_of_module"], "class_of_module"
+            )
         return KClassPartialBusNetwork(
             n_processors, n_memories, n_buses, **kwargs
         )
     if scheme == "crossbar":
-        if kwargs:
-            raise ConfigurationError(
-                f"crossbar takes no extra parameters, got {sorted(kwargs)}"
-            )
         return CrossbarNetwork(n_processors, n_memories)
-    raise ConfigurationError(
-        f"unknown scheme {scheme!r}; expected full/single/partial/"
-        "kclass/crossbar"
+    # scheme == "custom"
+    if "generator" not in kwargs:
+        raise ConfigurationError(
+            "scheme 'custom' requires a 'generator' spec "
+            "(see repro.topology.generators)"
+        )
+    from repro.topology.generators import generate_structure
+
+    structure = generate_structure(
+        kwargs["generator"], n_processors, n_memories, n_buses
     )
+    return StructureNetwork(structure)
 
 
 def paper_figure_networks() -> dict[str, MultipleBusNetwork]:

@@ -1,0 +1,417 @@
+"""Connection-matrix core: incidence structures as first-class objects.
+
+The paper's four schemes (plus the crossbar) are special cases of a single
+object: a pair of boolean incidence matrices, processor x bus and
+memory x bus.  :class:`ConnectionStructure` validates and freezes such a
+pair, gives it a content hash (for cache identity) and a
+permutation-invariant canonical key (for recognition bookkeeping), and
+:class:`StructureNetwork` adapts it to the :class:`MultipleBusNetwork`
+interface so every downstream layer (analysis, simulation, service,
+fabric) can evaluate arbitrary structures.
+
+Arbitration semantics for structures that do *not* reduce to a paper
+scheme: a memory module is served iff it can be matched to a distinct bus
+it is attached to, i.e. the number of served modules in a cycle is the
+maximum bipartite matching between the requested-module set and the
+buses.  This is the natural generalisation of the paper's conflict rules
+and coincides with them for the full, single-bus and partial schemes.
+The paper's K-class scheme uses a deliberately simpler sequential
+procedure that can serve *fewer* modules than a maximum matching (the gap
+is quantified by experiment E10), so K-class structures are routed to the
+paper's closed form by the recognizer rather than to the matching rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.network import MultipleBusNetwork
+
+__all__ = [
+    "ConnectionStructure",
+    "StructureNetwork",
+    "structure_of",
+    "MatchingOracle",
+    "maximum_matching",
+]
+
+
+def _as_bool_matrix(value, name: str) -> np.ndarray:
+    """Coerce ``value`` to a read-only boolean matrix or raise."""
+    try:
+        matrix = np.asarray(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} is not a rectangular matrix: {exc}") from None
+    if matrix.dtype == object or matrix.ndim != 2:
+        raise ConfigurationError(
+            f"{name} must be a rectangular 2-D matrix of 0/1 entries"
+        )
+    if matrix.size == 0:
+        raise ConfigurationError(f"{name} must be non-empty")
+    if matrix.dtype != bool:
+        if not np.issubdtype(matrix.dtype, np.number):
+            raise ConfigurationError(f"{name} entries must be 0/1, got {matrix.dtype}")
+        if not np.isin(matrix, (0, 1)).all():
+            raise ConfigurationError(f"{name} entries must all be 0 or 1")
+        matrix = matrix.astype(bool)
+    else:
+        matrix = matrix.copy()
+    matrix.setflags(write=False)
+    return matrix
+
+
+class ConnectionStructure:
+    """A validated processor x bus / memory x bus incidence pair.
+
+    Invariants enforced at construction:
+
+    - both matrices are rectangular, non-empty and share the bus axis;
+    - ``B <= M`` (buses beyond the module count can never carry a
+      transfer, mirroring :class:`MultipleBusNetwork`);
+    - every memory module and every processor attaches to >= 1 bus.
+
+    Dangling buses (columns with no attached memory) are *structurally*
+    legal -- they simply never carry traffic -- but the ``matrix``
+    generator spec rejects them so user-supplied matrices are audited.
+    """
+
+    __slots__ = ("_processor_bus", "_memory_bus", "_digest", "_canonical_key")
+
+    def __init__(self, processor_bus, memory_bus) -> None:
+        pb = _as_bool_matrix(processor_bus, "processor_bus")
+        mb = _as_bool_matrix(memory_bus, "memory_bus")
+        if pb.shape[1] != mb.shape[1]:
+            raise ConfigurationError(
+                f"bus-count mismatch: processor_bus has {pb.shape[1]} buses, "
+                f"memory_bus has {mb.shape[1]}"
+            )
+        n_memories, n_buses = mb.shape
+        if n_buses > n_memories:
+            raise ConfigurationError(
+                f"number of buses B={n_buses} exceeds number of memory modules "
+                f"M={n_memories}; extra buses can never be used"
+            )
+        unattached = np.flatnonzero(~mb.any(axis=1))
+        if unattached.size:
+            raise ConfigurationError(
+                f"memory module {int(unattached[0])} is not attached to any bus"
+            )
+        idle_processors = np.flatnonzero(~pb.any(axis=1))
+        if idle_processors.size:
+            raise ConfigurationError(
+                f"processor {int(idle_processors[0])} is not attached to any bus"
+            )
+        self._processor_bus = pb
+        self._memory_bus = mb
+        self._digest: bytes | None = None
+        self._canonical_key: str | None = None
+
+    @classmethod
+    def with_uniform_processors(cls, n_processors: int, memory_bus) -> ConnectionStructure:
+        """Build a structure whose processors all attach to every bus."""
+        mb = _as_bool_matrix(memory_bus, "memory_bus")
+        n = int(n_processors)
+        if n < 1:
+            raise ConfigurationError(f"number of processors must be >= 1, got {n}")
+        return cls(np.ones((n, mb.shape[1]), dtype=bool), mb)
+
+    # -- basic shape accessors -------------------------------------------------
+
+    @property
+    def n_processors(self) -> int:
+        return int(self._processor_bus.shape[0])
+
+    @property
+    def n_memories(self) -> int:
+        return int(self._memory_bus.shape[0])
+
+    @property
+    def n_buses(self) -> int:
+        return int(self._memory_bus.shape[1])
+
+    @property
+    def processor_bus(self) -> np.ndarray:
+        """Read-only N x B processor-bus incidence matrix."""
+        return self._processor_bus
+
+    @property
+    def memory_bus(self) -> np.ndarray:
+        """Read-only M x B memory-bus incidence matrix."""
+        return self._memory_bus
+
+    @property
+    def uniform_processors(self) -> bool:
+        """True when every processor attaches to every bus (the paper's model)."""
+        return bool(self._processor_bus.all())
+
+    @property
+    def connection_count(self) -> int:
+        return int(self._processor_bus.sum()) + int(self._memory_bus.sum())
+
+    # -- identity --------------------------------------------------------------
+
+    def digest(self) -> bytes:
+        """SHA-256 over the exact matrix contents (collision-free identity).
+
+        Two structures share a digest iff their matrices are entry-for-entry
+        identical; this is what cache keys should use.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(
+                b"repro-structure-v1:%d:%d:%d:"
+                % (self.n_processors, self.n_memories, self.n_buses)
+            )
+            hasher.update(np.packbits(self._processor_bus).tobytes())
+            hasher.update(b":")
+            hasher.update(np.packbits(self._memory_bus).tobytes())
+            self._digest = hasher.digest()
+        return self._digest
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def short(self) -> str:
+        """Abbreviated digest for logs and manifests."""
+        return self.hexdigest()[:12]
+
+    def canonical_key(self) -> str:
+        """Permutation-invariant key (Weisfeiler-Lehman colour refinement).
+
+        Guaranteed invariant under any relabelling of processors, buses or
+        memory modules.  *Not* guaranteed complete: two non-isomorphic
+        structures may (rarely) share a key, so use :meth:`digest` for
+        cache identity and this key only for recognition bookkeeping and
+        invariance checks.
+        """
+        if self._canonical_key is None:
+            self._canonical_key = self._refine_colors()
+        return self._canonical_key
+
+    def _refine_colors(self) -> str:
+        pb = self._processor_bus
+        mb = self._memory_bus
+        n, m, b = self.n_processors, self.n_memories, self.n_buses
+        proc = [0] * n
+        bus = [1] * b
+        mem = [2] * m
+        proc_adj = [np.flatnonzero(pb[p]) for p in range(n)]
+        mem_adj = [np.flatnonzero(mb[j]) for j in range(m)]
+        bus_proc = [np.flatnonzero(pb[:, i]) for i in range(b)]
+        bus_mem = [np.flatnonzero(mb[:, i]) for i in range(b)]
+        previous = 3
+        for _ in range(n + m + b):
+            signatures: dict[tuple, int] = {}
+
+            def rank(sig: tuple) -> int:
+                if sig not in signatures:
+                    signatures[sig] = len(signatures)
+                return signatures[sig]
+
+            # Signatures are built from the previous round's ranks, then
+            # re-ranked in sorted order so the ids are canonical regardless
+            # of node ordering.
+            proc_sigs = [("P", proc[p], tuple(sorted(bus[i] for i in proc_adj[p]))) for p in range(n)]
+            bus_sigs = [
+                (
+                    "B",
+                    bus[i],
+                    tuple(sorted(proc[p] for p in bus_proc[i])),
+                    tuple(sorted(mem[j] for j in bus_mem[i])),
+                )
+                for i in range(b)
+            ]
+            mem_sigs = [("M", mem[j], tuple(sorted(bus[i] for i in mem_adj[j]))) for j in range(m)]
+            for sig in sorted(proc_sigs) + sorted(bus_sigs) + sorted(mem_sigs):
+                rank(sig)
+            proc = [rank(sig) for sig in proc_sigs]
+            bus = [rank(sig) for sig in bus_sigs]
+            mem = [rank(sig) for sig in mem_sigs]
+            if len(signatures) == previous:
+                break
+            previous = len(signatures)
+        payload = repr(((n, m, b), sorted(proc), sorted(bus), sorted(mem)))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_spec(self) -> dict:
+        """JSON-safe generator spec reproducing this exact structure."""
+        spec: dict = {
+            "kind": "matrix",
+            "memory_bus": [[int(v) for v in row] for row in self._memory_bus],
+        }
+        if not self.uniform_processors:
+            spec["processor_bus"] = [[int(v) for v in row] for row in self._processor_bus]
+        return spec
+
+    # -- dunder ----------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ConnectionStructure):
+            return NotImplemented
+        return self.digest() == other.digest()
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
+
+    def __repr__(self) -> str:
+        return (
+            f"ConnectionStructure(N={self.n_processors}, M={self.n_memories}, "
+            f"B={self.n_buses}, digest={self.short()})"
+        )
+
+
+class StructureNetwork(MultipleBusNetwork):
+    """Adapter exposing a :class:`ConnectionStructure` as a network.
+
+    ``scheme`` is ``"custom"``; the analytic layers consult the recognizer
+    (:func:`repro.topology.recognize.recognize_cached`) to decide whether a
+    closed form applies, and fall back to exact enumeration or simulation
+    otherwise.
+    """
+
+    scheme = "custom"
+
+    def __init__(self, structure: ConnectionStructure) -> None:
+        if not isinstance(structure, ConnectionStructure):
+            raise ConfigurationError(
+                f"StructureNetwork expects a ConnectionStructure, got {type(structure).__name__}"
+            )
+        super().__init__(
+            structure.n_processors, structure.n_memories, structure.n_buses
+        )
+        self._structure = structure
+
+    @property
+    def structure(self) -> ConnectionStructure:
+        return self._structure
+
+    def processor_bus_matrix(self) -> np.ndarray:
+        return np.array(self._structure.processor_bus, dtype=bool)
+
+    def memory_bus_matrix(self) -> np.ndarray:
+        return np.array(self._structure.memory_bus, dtype=bool)
+
+    def recognition(self):
+        """Recognition outcome for this structure (None when unrecognized)."""
+        from repro.topology.recognize import recognize_cached
+
+        return recognize_cached(self._structure)
+
+    def describe(self) -> str:
+        rec = self.recognition()
+        label = rec.scheme if rec is not None else "unrecognized"
+        return (
+            f"custom structure {self._structure.short()} "
+            f"(N={self.n_processors}, M={self.n_memories}, B={self.n_buses}, {label})"
+        )
+
+
+def structure_of(network: MultipleBusNetwork) -> ConnectionStructure:
+    """Reduce any network to its incidence structure."""
+    return ConnectionStructure(
+        network.processor_bus_matrix(), network.memory_bus_matrix()
+    )
+
+
+def maximum_matching(adjacency: list, requested, match_of_bus: list | None = None) -> list:
+    """Kuhn's augmenting-path maximum matching, deterministic.
+
+    ``adjacency`` maps each memory module to a sorted sequence of bus
+    indices; ``requested`` is an iterable of module indices.  Returns the
+    final ``match_of_bus`` list (bus index -> module or ``None``).  When an
+    initial ``match_of_bus`` is supplied it is extended in place, which
+    lets callers run incremental per-subset matchings.
+    """
+    if match_of_bus is None:
+        n_buses = 0
+        for buses in adjacency:
+            for bus in buses:
+                n_buses = max(n_buses, bus + 1)
+        match_of_bus = [None] * n_buses
+
+    def augment(module: int, visited: set) -> bool:
+        for bus_index in adjacency[module]:
+            if bus_index in visited:
+                continue
+            visited.add(bus_index)
+            holder = match_of_bus[bus_index]
+            if holder is None or augment(holder, visited):
+                match_of_bus[bus_index] = module
+                return True
+        return False
+
+    for module in sorted(set(int(j) for j in requested)):
+        augment(module, set())
+    return match_of_bus
+
+
+class MatchingOracle:
+    """Memoized served-count oracle over a fixed memory-bus matrix.
+
+    ``served(mask)`` returns the maximum number of modules in the
+    requested set (encoded as a bitmask over module indices) that can be
+    granted distinct buses.  Results are memoized by mask, which makes
+    repeated queries -- simulation cycles, subset enumerations -- cheap.
+    """
+
+    __slots__ = ("_adjacency", "_n_buses", "_served", "_grants", "_max_entries")
+
+    def __init__(self, memory_bus, max_entries: int = 1 << 17) -> None:
+        matrix = _as_bool_matrix(memory_bus, "memory_bus")
+        self._adjacency = [
+            [int(i) for i in np.flatnonzero(row)] for row in matrix
+        ]
+        self._n_buses = int(matrix.shape[1])
+        self._served: dict[int, int] = {}
+        self._grants: dict[int, tuple] = {}
+        self._max_entries = int(max_entries)
+
+    def _modules(self, mask: int) -> list:
+        modules = []
+        index = 0
+        while mask:
+            if mask & 1:
+                modules.append(index)
+            mask >>= 1
+            index += 1
+        return modules
+
+    def _solve(self, mask: int) -> tuple:
+        match = maximum_matching(
+            self._adjacency, self._modules(mask), [None] * self._n_buses
+        )
+        return tuple(match)
+
+    def served(self, mask: int) -> int:
+        """Maximum number of served modules for the requested-set bitmask."""
+        cached = self._served.get(mask)
+        if cached is not None:
+            return cached
+        match = self._solve(mask)
+        value = sum(1 for module in match if module is not None)
+        if len(self._served) >= self._max_entries:
+            self._served.clear()
+        self._served[mask] = value
+        return value
+
+    def grants(self, requested) -> dict:
+        """Bus -> module grant map for an iterable of requested modules."""
+        mask = 0
+        for module in requested:
+            mask |= 1 << int(module)
+        cached = self._grants.get(mask)
+        if cached is None:
+            cached = self._solve(mask)
+            if len(self._grants) >= self._max_entries:
+                self._grants.clear()
+            self._grants[mask] = cached
+        return {
+            bus: module
+            for bus, module in enumerate(cached)
+            if module is not None
+        }

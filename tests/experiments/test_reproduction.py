@@ -76,6 +76,7 @@ def test_registry_complete():
         "table1", "table2", "table3", "table4", "table5", "table6",
         "figures", "claims", "validation", "ablation", "nxm",
         "resubmission", "approximation", "availability", "arbitration",
+        "structures",
     }
 
 

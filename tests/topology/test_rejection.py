@@ -36,6 +36,53 @@ INVALID_TOPOLOGIES = [
     ("single-bus-map-out-of-range", "single", 8, 8, 4,
      {"bus_of_module": [0, 1, 2, 9, 0, 1, 2, 3]}),
     ("crossbar-extra-kwargs", "crossbar", 8, 8, 8, {"n_groups": 2}),
+    # Untyped spellings: silent coercion would change the topology.
+    ("float-bus-count", "full", 8, 8, 4.0, {}),
+    ("bool-bus-count", "full", 8, 8, True, {}),
+    ("float-class-sizes", "kclass", 8, 8, 4,
+     {"class_sizes": [2.0, 2.0, 2.0, 2.0]}),
+    ("bool-class-sizes", "kclass", 8, 8, 4,
+     {"class_sizes": [True, 3, 2, 2]}),
+    ("string-n-groups", "partial", 8, 8, 4, {"n_groups": "2"}),
+    ("full-unknown-kwarg", "full", 8, 8, 4, {"class_sizes": [4, 4]}),
+    ("single-unknown-kwarg", "single", 8, 8, 4, {"n_groups": 2}),
+    # Generator specs: only scheme "custom" takes them, and they must be
+    # well-formed.
+    ("generator-on-paper-scheme", "full", 8, 8, 4,
+     {"generator": {"kind": "grouped", "n_groups": 2}}),
+    ("custom-without-generator", "custom", 8, 8, 4, {}),
+    ("custom-unknown-kind", "custom", 8, 8, 4,
+     {"generator": {"kind": "smallworld"}}),
+    ("custom-missing-field", "custom", 8, 8, 4,
+     {"generator": {"kind": "grouped"}}),
+    ("custom-unknown-field", "custom", 8, 8, 4,
+     {"generator": {"kind": "grouped", "n_groups": 2, "depth": 3}}),
+    ("custom-non-mapping-spec", "custom", 8, 8, 4, {"generator": "grouped"}),
+    ("matrix-ragged-rows", "custom", 8, 3, 2,
+     {"generator": {"kind": "matrix", "memory_bus": [[1, 0], [1], [0, 1]]}}),
+    ("matrix-non-binary-entry", "custom", 8, 3, 2,
+     {"generator": {"kind": "matrix",
+                    "memory_bus": [[1, 0], [2, 0], [0, 1]]}}),
+    ("matrix-empty-memory-row", "custom", 8, 3, 2,
+     {"generator": {"kind": "matrix",
+                    "memory_bus": [[1, 0], [0, 0], [0, 1]]}}),
+    ("matrix-dangling-bus", "custom", 8, 3, 2,
+     {"generator": {"kind": "matrix",
+                    "memory_bus": [[1, 0], [1, 0], [1, 0]]}}),
+    ("matrix-pins-other-B", "custom", 8, 3, 3,
+     {"generator": {"kind": "matrix",
+                    "memory_bus": [[1, 0], [1, 1], [0, 1]]}}),
+    ("mesh-pins-other-B", "custom", 8, 12, 5,
+     {"generator": {"kind": "mesh_rowcol", "rows": 3, "cols": 4}}),
+    ("grouped-sizes-not-summing", "custom", 8, 8, 4,
+     {"generator": {"kind": "grouped", "module_sizes": [3, 3],
+                    "bus_sizes": [2, 2]}}),
+    ("kclass-generator-too-many-classes", "custom", 8, 8, 2,
+     {"generator": {"kind": "kclass", "class_sizes": [2, 2, 4]}}),
+    ("waxman-bool-seed", "custom", 8, 8, 4,
+     {"generator": {"kind": "waxman", "seed": True}}),
+    ("random-incidence-density-out-of-range", "custom", 8, 8, 4,
+     {"generator": {"kind": "random_incidence", "density": 1.5}}),
 ]
 
 

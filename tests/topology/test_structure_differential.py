@@ -1,0 +1,278 @@
+"""Structure-blind differential wall for the connection-matrix core.
+
+Every hand-built paper scheme and every generator family is pushed
+through the ``scheme="custom"`` path and compared against the reference
+computed *without* knowing the structure's provenance:
+
+* structures the recognizer maps to a closed-form scheme must reproduce
+  that scheme's batched profile **bit-identically** (the fast path *is*
+  that code path, so any ulp of drift means the recognizer mislabeled
+  the structure);
+* against the *originating* scheme the agreement is ``<= 1e-9``: some
+  structures are degenerate overlaps (``single`` at ``B = 1`` is
+  ``full``; a crossbar is ``full`` at ``B = min(N, M)``) and the
+  recognizer may legitimately land on the other closed form, whose
+  floating-point path differs in the last ulp;
+* unrecognized structures fall back to exact matching enumeration,
+  cross-checked here against a from-scratch per-subset matching (the
+  production table uses an incremental lattice DP — a different
+  algorithm, same answer);
+* the structure simulator must agree with enumeration within its own
+  reported confidence interval on small grids, and must be
+  deterministic from the structure digest alone.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.batch import scheme_bus_profile
+from repro.core.exact import _matching_served_per_subset, exact_bandwidth
+from repro.core.hierarchy import paper_two_level_model
+from repro.core.request_models import UniformRequestModel
+from repro.simulation.structure import simulate_structure_bandwidth
+from repro.topology import (
+    StructureNetwork,
+    build_network,
+    generate_structure,
+    maximum_matching,
+    recognize,
+    structure_of,
+)
+
+# (label, scheme, N, M, kwargs, bus counts)
+PAPER_CASES = [
+    ("full-8x8", "full", 8, 8, {}, (1, 2, 4, 8)),
+    ("full-8x6", "full", 8, 6, {}, (1, 3, 6)),
+    ("single-8x8", "single", 8, 8, {}, (1, 2, 4, 8)),
+    ("single-permuted", "single", 8, 8,
+     {"bus_of_module": [3, 0, 1, 2, 0, 1, 2, 3]}, (4,)),
+    ("partial-g2", "partial", 8, 8, {"n_groups": 2}, (2, 4, 8)),
+    ("partial-g4", "partial", 8, 8, {"n_groups": 4}, (4, 8)),
+    ("kclass-default", "kclass", 8, 8, {}, (2, 4)),
+    ("kclass-graded", "kclass", 8, 8, {"class_sizes": [1, 3, 4]}, (3, 4, 6)),
+    ("crossbar-8x8", "crossbar", 8, 8, {}, (8,)),
+    ("crossbar-8x4", "crossbar", 8, 4, {}, (4,)),
+]
+
+MODELS = {
+    "uniform-r1.0": lambda n, m: UniformRequestModel(n, m, rate=1.0),
+    "uniform-r0.6": lambda n, m: UniformRequestModel(n, m, rate=0.6),
+}
+
+
+@pytest.mark.parametrize(
+    "scheme,n,m,kwargs,bus_counts",
+    [case[1:] for case in PAPER_CASES],
+    ids=[case[0] for case in PAPER_CASES],
+)
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_paper_schemes_roundtrip_bit_identically(
+    scheme, n, m, kwargs, bus_counts, model_name
+):
+    """matrix-spec of a paper network == the recognized scheme's profile."""
+    model = MODELS[model_name](n, m)
+    for b in bus_counts:
+        structure = structure_of(build_network(scheme, n, m, b, **kwargs))
+        recognition = recognize(structure)
+        assert recognition is not None, (
+            f"{scheme} N={n} M={m} B={b} {kwargs} not recognized"
+        )
+        custom = scheme_bus_profile(
+            "custom", n, m, [b], model, generator=structure.to_spec()
+        )
+        recognized = scheme_bus_profile(
+            recognition.scheme, n, m, [b], model, **recognition.kwargs()
+        )
+        # Bit-identical against the scheme the recognizer chose: the
+        # fast path *is* that closed-form code path.
+        assert custom.values[b] == recognized.values[b]
+        # <= 1e-9 against the originating scheme: degenerate overlaps
+        # (single@B=1 == full, crossbar == full@B=min(N,M)) may resolve
+        # to the mathematically-equal sibling closed form.
+        original = scheme_bus_profile(scheme, n, m, [b], model, **kwargs)
+        assert custom.values[b] == pytest.approx(
+            original.values[b], abs=1e-9
+        )
+
+
+def test_hierarchical_model_respects_module_safety():
+    """Recognized permuted layouts stay exact for heterogeneous models.
+
+    A permuted ``single`` layout recognizes with an explicit
+    ``bus_of_module`` map (module-safe), so the closed form applies even
+    when modules see different request probabilities.
+    """
+    n = 8
+    model = paper_two_level_model(n, rate=1.0)
+    layout = [3, 0, 1, 2, 0, 1, 2, 3]
+    structure = structure_of(
+        build_network("single", n, n, 4, bus_of_module=layout)
+    )
+    recognition = recognize(structure)
+    assert recognition is not None
+    assert recognition.module_safe
+    custom = scheme_bus_profile(
+        "custom", n, n, [4], model, generator=structure.to_spec()
+    )
+    original = scheme_bus_profile(
+        "single", n, n, [4], model, bus_of_module=layout
+    )
+    assert custom.values[4] == original.values[4]
+
+
+GENERATOR_CASES = [
+    ("grouped-g2", {"kind": "grouped", "n_groups": 2}, 8, 8, (2, 4, 8)),
+    ("grouped-uneven",
+     {"kind": "grouped", "module_sizes": [2, 6], "bus_sizes": [1, 3]},
+     8, 8, (4,)),
+    ("kclass-gen", {"kind": "kclass", "class_sizes": [2, 2, 4]}, 8, 8,
+     (3, 4, 6)),
+    ("mesh-static", {"kind": "mesh_rowcol", "rows": 2, "cols": 3}, 8, 6,
+     (5,)),
+    ("waxman", {"kind": "waxman", "seed": 7}, 8, 8, (2, 4, 6)),
+    ("random", {"kind": "random_incidence", "density": 0.4, "seed": 3},
+     8, 8, (2, 4, 6)),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,n,m,bus_counts",
+    [case[1:] for case in GENERATOR_CASES],
+    ids=[case[0] for case in GENERATOR_CASES],
+)
+def test_generator_families_match_structure_blind_reference(
+    spec, n, m, bus_counts
+):
+    """Every generator output == the provenance-blind reference value.
+
+    The reference never consults the recognizer: it enumerates request
+    sets and serves each by maximum matching.  Unrecognized structures
+    must match it bit-identically, since enumeration *is* their
+    production path.  Recognized structures route to the paper's
+    closed-form *approximation* (binomial independence, eq. (3)) — they
+    must be bit-identical to the recognized scheme's own profile, and
+    within the approximation's documented few-percent band of the
+    enumeration (a mislabeled structure would miss by far more).
+    """
+    model = UniformRequestModel(n, m, rate=0.9)
+    for b in bus_counts:
+        structure = generate_structure(spec, n, m, b)
+        custom = scheme_bus_profile(
+            "custom", n, m, [b], model, generator=spec
+        )
+        reference = exact_bandwidth(StructureNetwork(structure), model)
+        recognition = recognize(structure)
+        if recognition is None:
+            assert custom.values[b] == reference
+        else:
+            recognized = scheme_bus_profile(
+                recognition.scheme, n, m, [b], model, **recognition.kwargs()
+            )
+            assert custom.values[b] == recognized.values[b]
+            if recognition.scheme == "kclass":
+                # The paper's K-class busy-bus criterion (eq. (11)) is
+                # deliberately conservative relative to maximum matching
+                # — see repro.topology.structure — so the closed form
+                # may sit well below the matching enumeration, never
+                # above it.
+                assert custom.values[b] <= reference + 1e-9
+            else:
+                assert custom.values[b] == pytest.approx(reference, rel=0.05)
+
+
+@pytest.mark.parametrize(
+    "spec,n,m,bus_counts",
+    [case[1:] for case in GENERATOR_CASES],
+    ids=[case[0] for case in GENERATOR_CASES],
+)
+def test_incremental_matching_table_equals_from_scratch(
+    spec, n, m, bus_counts
+):
+    """The lattice-DP matching table == an independent per-subset Kuhn.
+
+    ``_matching_served_per_subset`` reuses the parent subset's matching
+    and augments once; here every subset is solved from scratch instead.
+    Any divergence means the incremental reuse corrupted a matching.
+    """
+    b = bus_counts[-1]
+    matrix = generate_structure(spec, n, m, b).memory_bus
+    adjacency = [
+        [int(i) for i in np.flatnonzero(row)] for row in matrix
+    ]
+    table = _matching_served_per_subset(matrix, 1 << m)
+    for mask in range(1 << m):
+        requested = [module for module in range(m) if mask >> module & 1]
+        match_of_bus = maximum_matching(adjacency, requested)
+        from_scratch = sum(1 for owner in match_of_bus if owner is not None)
+        assert table[mask] == from_scratch, f"subset {mask:0{m}b}"
+
+
+def test_matching_is_a_matching():
+    """Grants are feasible: one module per bus, each grant on a real edge."""
+    spec = {"kind": "random_incidence", "density": 0.5, "seed": 9}
+    matrix = generate_structure(spec, 8, 8, 5).memory_bus
+    adjacency = [[int(i) for i in np.flatnonzero(row)] for row in matrix]
+    for requested in itertools.combinations(range(8), 4):
+        match_of_bus = maximum_matching(adjacency, list(requested))
+        granted = [owner for owner in match_of_bus if owner is not None]
+        assert len(granted) == len(set(granted))
+        for bus, owner in enumerate(match_of_bus):
+            if owner is not None:
+                assert owner in requested
+                assert matrix[owner, bus]
+
+
+SIM_CASES = [
+    ("waxman", {"kind": "waxman", "seed": 7}, 8, 8, 4),
+    ("random", {"kind": "random_incidence", "density": 0.4, "seed": 3},
+     8, 8, 5),
+    ("mesh-static", {"kind": "mesh_rowcol", "rows": 2, "cols": 3}, 8, 6, 5),
+]
+
+
+@pytest.mark.parametrize(
+    "spec,n,m,b",
+    [case[1:] for case in SIM_CASES],
+    ids=[case[0] for case in SIM_CASES],
+)
+def test_simulator_agrees_with_enumeration(spec, n, m, b):
+    """Monte-Carlo vs exact enumeration: |Δ| <= 5 standard errors.
+
+    The 5-sigma band is the documented tolerance of the simulation
+    fallback (false-failure probability < 1e-6 per cell); the seed is a
+    pure function of the structure digest, so this never flakes.
+    """
+    model = UniformRequestModel(n, m, rate=0.9)
+    structure = generate_structure(spec, n, m, b)
+    exact = exact_bandwidth(StructureNetwork(structure), model)
+    sim = simulate_structure_bandwidth(structure, model, n_cycles=40_000)
+    assert abs(sim.bandwidth - exact) <= 5 * max(sim.stderr, 1e-12)
+
+
+def test_simulator_is_deterministic_from_the_digest():
+    """Same structure, same cycles -> bit-identical result, no seed given."""
+    spec = {"kind": "waxman", "seed": 7}
+    model = UniformRequestModel(8, 8, rate=0.9)
+    first = simulate_structure_bandwidth(
+        generate_structure(spec, 8, 8, 4), model, n_cycles=2_000
+    )
+    second = simulate_structure_bandwidth(
+        generate_structure(spec, 8, 8, 4), model, n_cycles=2_000
+    )
+    assert first == second
+
+
+def test_simulated_bandwidth_pinned():
+    """Cross-version pin: digest-seeded sim value never silently drifts."""
+    spec = {"kind": "random_incidence", "density": 0.4, "seed": 3}
+    model = UniformRequestModel(8, 8, rate=0.9)
+    result = simulate_structure_bandwidth(
+        generate_structure(spec, 8, 8, 5), model, n_cycles=2_000
+    )
+    # Exact literal: the stream is derived from the structure digest, so
+    # this value is stable across processes and platforms.
+    assert result.bandwidth == 4.3345
